@@ -1,0 +1,37 @@
+# universalnet — build, test, and regenerate the evaluation.
+
+GO ?= go
+
+.PHONY: all build test test-race bench report examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run the full E1..E20 evaluation suite and print every table + figure.
+report: build
+	$(GO) run ./cmd/uninet report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lowerbound
+	$(GO) run ./examples/dependencytree
+	$(GO) run ./examples/butterflyhost
+	$(GO) run ./examples/cellular
+	$(GO) run ./examples/pebbleanalysis
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out uninet

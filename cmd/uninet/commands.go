@@ -1,0 +1,671 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"universalnet/internal/core"
+	"universalnet/internal/depgraph"
+	"universalnet/internal/expander"
+	"universalnet/internal/experiments"
+	"universalnet/internal/graph"
+	"universalnet/internal/pebble"
+	"universalnet/internal/routing"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+	"universalnet/internal/universal"
+)
+
+// buildTopo constructs the named topology.
+func buildTopo(kind string, n, d, a, deg int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "mesh":
+		return topology.Mesh(n)
+	case "torus":
+		return topology.Torus(n)
+	case "multitorus":
+		return topology.Multitorus(a, n)
+	case "butterfly":
+		return topology.Butterfly(d)
+	case "wbutterfly":
+		return topology.WrappedButterfly(d)
+	case "ccc":
+		return topology.CubeConnectedCycles(d)
+	case "se":
+		return topology.ShuffleExchange(d)
+	case "debruijn":
+		return topology.DeBruijn(d)
+	case "hypercube":
+		return topology.Hypercube(d)
+	case "regular":
+		return topology.RandomRegular(rand.New(rand.NewSource(seed)), n, deg)
+	case "g0":
+		g0, err := topology.BuildG0WithBlockSide(n, a, seed)
+		if err != nil {
+			return nil, err
+		}
+		return g0.Graph, nil
+	case "ring":
+		return topology.Ring(n)
+	case "complete":
+		return topology.Complete(n)
+	}
+	return nil, fmt.Errorf("unknown topology kind %q", kind)
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	kind := fs.String("kind", "torus", "topology kind")
+	n := fs.Int("n", 64, "number of vertices (where applicable)")
+	d := fs.Int("d", 4, "dimension (butterfly/ccc/se/debruijn/hypercube)")
+	a := fs.Int("a", 4, "block side (multitorus/g0)")
+	deg := fs.Int("deg", 4, "degree (random regular)")
+	seed := fs.Int64("seed", 1, "random seed")
+	save := fs.String("save", "", "write the graph as JSON to this file")
+	load := fs.String("load", "", "load a graph JSON instead of constructing one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = graph.ReadJSON(f)
+		f.Close()
+		*kind = *load
+	} else {
+		g, err = buildTopo(*kind, *n, *d, *a, *deg, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			return ferr
+		}
+		if err := g.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("graph written to %s\n", *save)
+	}
+	fmt.Printf("topology %s: n=%d m=%d mindeg=%d maxdeg=%d connected=%v\n",
+		*kind, g.N(), g.M(), g.MinDegree(), g.MaxDegree(), g.IsConnected())
+	if g.N() <= 4096 {
+		fmt.Printf("diameter=%d girth=%d\n", g.DiameterParallel(0), g.Girth())
+	}
+	if g.N() >= 4 && g.MinDegree() > 0 {
+		lam, err := expander.SpectralGap(g, 300, *seed)
+		if err == nil {
+			fmt.Printf("lambda2=%.4f (normalized adjacency; gap=%.4f)\n", lam, 1-lam)
+		}
+	}
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	kind := fs.String("kind", "torus", "topology kind")
+	n := fs.Int("n", 64, "number of vertices")
+	d := fs.Int("d", 4, "dimension")
+	a := fs.Int("a", 4, "block side")
+	deg := fs.Int("deg", 4, "degree")
+	h := fs.Int("h", 2, "h of the h-h problem")
+	trials := fs.Int("trials", 5, "random instances")
+	seed := fs.Int64("seed", 1, "random seed")
+	single := fs.Bool("singleport", false, "single-port node model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := buildTopo(*kind, *n, *d, *a, *deg, *seed)
+	if err != nil {
+		return err
+	}
+	mode := routing.MultiPort
+	if *single {
+		mode = routing.SinglePort
+	}
+	r := &routing.GreedyRouter{Mode: mode, Seed: *seed}
+	res, err := routing.MeasureRoute(g, r, *h, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route_%s(%d) over %d trials: %d steps (maxqueue=%d, hops=%d)\n",
+		*kind, *h, *trials, res.Steps, res.MaxQueue, res.TotalHops)
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	hostKind := fs.String("host", "butterfly", "host kind: butterfly|torus|expander|ring")
+	hostDim := fs.Int("hostdim", 4, "butterfly dimension")
+	hostSize := fs.Int("hostsize", 64, "host size (torus/expander/ring)")
+	n := fs.Int("n", 128, "guest size")
+	deg := fs.Int("deg", 4, "guest degree")
+	steps := fs.Int("steps", 5, "guest steps")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		host *universal.Host
+		err  error
+	)
+	switch *hostKind {
+	case "butterfly":
+		host, err = universal.ButterflyHost(*hostDim)
+	case "torus":
+		host, err = universal.TorusHost(*hostSize)
+	case "expander":
+		host, err = universal.ExpanderHost(*hostSize, 4, *seed)
+	case "ring":
+		host, err = universal.RingHost(*hostSize)
+	default:
+		return fmt.Errorf("unknown host kind %q", *hostKind)
+	}
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	guest, err := topology.RandomGuest(rng, *n, *deg)
+	if err != nil {
+		return err
+	}
+	comp := sim.MixMod(guest, rng)
+	rep, err := (&universal.EmbeddingSimulator{Host: host}).Run(comp, *steps)
+	if err != nil {
+		return err
+	}
+	direct, err := comp.Run(*steps)
+	if err != nil {
+		return err
+	}
+	ok := rep.Trace.Checksum() == direct.Checksum()
+	m := host.Graph.N()
+	fmt.Printf("host=%s guest: n=%d %d-regular, T=%d\n", host.Name, *n, *deg, *steps)
+	fmt.Printf("host steps=%d (compute=%d route=%d) load=%d\n",
+		rep.HostSteps, rep.ComputeSteps, rep.RouteSteps, rep.MaxLoad)
+	fmt.Printf("slowdown s=%.2f  inefficiency k=s·m/n=%.2f  trace-verified=%v\n",
+		rep.Slowdown, rep.Inefficiency, ok)
+	fmt.Printf("Theorem 2.1 form (n/m)·log2 m = %.2f\n", core.UpperBoundSlowdown(*n, m, 1))
+	return nil
+}
+
+func cmdBound(args []string) error {
+	fs := flag.NewFlagSet("bound", flag.ExitOnError)
+	log2m := fs.Float64("log2m", 0, "log2 of the host size (overrides -m)")
+	n := fs.Int("n", 1<<16, "guest size")
+	m := fs.Int("m", 1<<12, "host size")
+	toy := fs.Bool("toy", false, "use unit-scale constants instead of the paper's")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := core.Params{}.Defaults()
+	label := "paper"
+	if *toy {
+		p = core.ToyParams()
+		label = "toy"
+	}
+	if *log2m > 0 {
+		k, err := p.KLowerBound(*log2m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Theorem 3.1 (%s constants): log2 m = %.0f → k ≥ %.3f\n", label, *log2m, k)
+		return nil
+	}
+	k, err := p.MinInefficiency(*n, *m)
+	if err != nil {
+		return err
+	}
+	s := k * float64(*n) / float64(*m)
+	if s < 1 {
+		s = 1
+	}
+	fmt.Printf("Theorem 3.1 (%s constants): n=%d m=%d → k ≥ %.3f, s ≥ %.3f, m·s ≥ %.0f (n·log2 m = %.0f)\n",
+		label, *n, *m, k, s, float64(*m)*s, float64(*n)*log2(*m))
+	return nil
+}
+
+func log2(x int) float64 {
+	l := 0.0
+	for v := x; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+func cmdTradeoff(args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ExitOnError)
+	n := fs.Int("n", 1<<16, "guest size")
+	msList := fs.String("ms", "256,1024,4096,16384,65536", "comma-separated host sizes")
+	toy := fs.Bool("toy", false, "use unit-scale constants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ms []int
+	for _, part := range strings.Split(*msList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad host size %q: %w", part, err)
+		}
+		ms = append(ms, v)
+	}
+	p := core.Params{}.Defaults()
+	if *toy {
+		p = core.ToyParams()
+	}
+	tab, err := experiments.TradeoffTable(p, *n, ms)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdPebble(args []string) error {
+	fs := flag.NewFlagSet("pebble", flag.ExitOnError)
+	n := fs.Int("n", 32, "guest size")
+	deg := fs.Int("deg", 4, "guest degree")
+	hostDim := fs.Int("hostdim", 3, "wrapped-butterfly host dimension")
+	steps := fs.Int("steps", 4, "guest steps")
+	seed := fs.Int64("seed", 1, "random seed")
+	save := fs.String("save", "", "write the protocol as JSON to this file")
+	load := fs.String("load", "", "load a protocol JSON instead of building one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pr *pebble.Protocol
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pr, err = pebble.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		*n = pr.Guest.N()
+		*steps = pr.T
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		guest, err := topology.RandomGuest(rng, *n, *deg)
+		if err != nil {
+			return err
+		}
+		host, err := topology.WrappedButterfly(*hostDim)
+		if err != nil {
+			return err
+		}
+		pr, err = pebble.BuildEmbeddingProtocol(guest, host, nil, *steps)
+		if err != nil {
+			return err
+		}
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := pr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("protocol written to %s\n", *save)
+	}
+	host := pr.Host
+	fmt.Printf("protocol: guest n=%d (%d-regular), host m=%d, T=%d\n", *n, *deg, host.N(), *steps)
+	fmt.Printf("host steps T'=%d ops=%d slowdown=%.2f inefficiency k=%.2f\n",
+		pr.HostSteps(), pr.OpCount(), pr.Slowdown(), pr.Inefficiency())
+	for t := 0; t <= *steps; t++ {
+		fmt.Printf("t=%d: Σ_i q_{i,t} = %d\n", t, st.TotalWeight(t))
+	}
+	t0 := *steps / 2
+	frag, err := st.ExtractFragment(t0, st.PickLightest(t0))
+	if err != nil {
+		return err
+	}
+	maxD := 0
+	for _, d := range frag.D {
+		if len(d) > maxD {
+			maxD = len(d)
+		}
+	}
+	fmt.Printf("fragment at t0=%d: Σ|B_i|=%d max|D_i|=%d (valid=%v)\n",
+		t0, frag.SumB(), maxD, frag.Validate() == nil)
+	return nil
+}
+
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	blockSide := fs.Int("blockside", 4, "block side p = 2a")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := topology.NextValidG0Size(4*(*blockSide)*(*blockSide), *blockSide)
+	g0, err := topology.BuildG0WithBlockSide(n, *blockSide, *seed)
+	if err != nil {
+		return err
+	}
+	depth := depgraph.TreeDepth(*blockSide)
+	tree, err := depgraph.BuildDependencyTree(g0, g0.Blocks[0].Vertices[0], depth)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderDependencyTree(g0, tree))
+	fmt.Printf("size=%d (≤ %d·a² with a=%d), depth=%d, binary=yes, leaves cover the %d-node torus\n",
+		tree.Size(), (tree.Size()+g0.A*g0.A-1)/(g0.A*g0.A), g0.A, tree.Depth(), *blockSide**blockSide)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "E1", "experiment id E1..E14")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch strings.ToUpper(*id) {
+	case "E1":
+		rows, err := experiments.E1UpperBound(512, 4, 3, []int{3, 4, 5, 6}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E1Table(512, rows))
+	case "E2":
+		rows, err := experiments.E2LowerBoundCurve([]float64{10, 16, 24, 32, 48, 64, 1e6, 2e6, 4e6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E2Table(rows))
+	case "E3":
+		rows, err := experiments.E3DependencyTrees([]int{4, 6, 8}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E3Table(rows))
+	case "E4":
+		res, err := experiments.E4CriticalTimes(64, 4, 3, 16, 24, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E4 (Lemma 3.12): n=%d m=%d T=%d D=%d k=%.2f\n", res.N, res.M, res.T, res.D, res.K)
+		fmt.Printf("|Z_S|=%d (guarantee ≥ %d), critical times verified=%d\n", res.ZSize, res.ZLowerBound, res.Checked)
+		fmt.Printf("inequality (1) violated=%v, inequality (2) violated=%v, max tree size=%d\n",
+			res.Ineq1Violated, res.Ineq2Violated, res.TreeSizeMax)
+	case "E5":
+		res, err := experiments.E5Frontier(64, 4, 3, 8, 0.4, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E5 (Lemma 3.15): n=%d m=%d α=%.2f sampled β=%.2f k=%.2f\n",
+			res.N, res.M, res.Alpha, res.BetaSampled, res.K)
+		fmt.Printf("frontier thresholds τ_j: %v\n", res.Thresholds)
+		fmt.Printf("min gap=%d host steps; max e_{t_j}(τ_j)=%d (cap (α/β)·n=%.1f)\n",
+			res.MinGap, res.FrontierCap, res.CapBound)
+	case "E6":
+		rows, err := experiments.E6TreeCache(8, 2, []int{2, 3, 4, 5}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E6Table(rows))
+	case "E7":
+		rows, err := experiments.E7Tradeoff(24, 3, 3, 3, 6, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E7Table(rows))
+	case "E8":
+		rows, err := experiments.E8OfflineRouting([]int{3, 4, 5, 6, 7}, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E8Table(rows))
+	case "E9":
+		res, err := experiments.E9FragmentMultiplicity(64, 4, 3, 16, 6, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E9 (Lemma 3.3): n=%d m=%d c=%d guests=%d\n", res.N, res.M, res.C, res.Guests)
+		fmt.Printf("edge inclusion N(P_i) ⊆ D_i holds=%v; max|D_i|=%d\n", res.EdgeInclOK, res.MaxD)
+		fmt.Printf("log2 X ≤ %.1f (worst fragment) vs log2 |U[G0]| ≥ %.1f\n", res.Log2XBound, res.Log2GuestLB)
+	case "E10":
+		rows, err := experiments.E10G0Expansion([]int{4, 6, 8}, 0.25, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E10Table(rows))
+	case "E11":
+		rows, err := experiments.E11Embeddings(64, 4, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E11Table(rows))
+	case "E12":
+		rows, err := experiments.E12RouterAblation(128, 4, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E12Table(rows))
+	case "E13":
+		rows, err := experiments.E13AssignmentAblation(64, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E13Table(rows))
+	case "E14":
+		rows, err := experiments.E14ObliviousComplete(256, 3, []int{3, 4, 5, 6}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E14Table(256, rows))
+	case "E15":
+		rows, err := experiments.E15BuilderAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E15Table(rows))
+	case "E16":
+		rows, err := experiments.E16Redundancy(48, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E16Table(rows))
+	case "E17":
+		rows, err := experiments.E17Baselines(256, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E17Table(256, rows))
+	case "E18":
+		rows, err := experiments.E18OfflineTheorem21(128, 3, []int{3, 4, 5}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E18Table(128, rows))
+	case "E19":
+		rows, err := experiments.E19RouteScaling([]int{1, 2, 4, 8}, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E19Table(rows))
+	case "E20":
+		rows, err := experiments.E20Multibutterfly(4, 3, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E20Table(rows))
+	case "E21":
+		rows, err := experiments.E21MinimizerAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E21Table(rows))
+	case "E22":
+		rows, err := experiments.E22Spreading(6, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.E22Table(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q (want E1..E22)", *id)
+	}
+	return nil
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	n := fs.Int("n", 8, "number of vertices (≤ 16)")
+	c := fs.Int("c", 3, "degree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exact, err := core.CountRegularGraphsExact(*n, *c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("labeled %d-regular graphs on %d vertices: %v\n", *c, *n, exact)
+	fmt.Printf("configuration-model estimate: 2^%.2f\n", core.Log2RegularGraphCount(*n, *c))
+	return nil
+}
+
+// cmdAnalyze runs the full §3 lower-bound pipeline on a live protocol:
+// G₀, a guest from 𝒰[G₀], a validated protocol, stateful replay, Lemma 3.12
+// weights and critical times, a fragment and its multiplicity bound.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	blockSide := fs.Int("blockside", 4, "G0 block side p = 2a")
+	hostDim := fs.Int("hostdim", 3, "wrapped-butterfly host dimension")
+	c := fs.Int("c", 16, "guest degree (the paper's c)")
+	extra := fs.Int("extra", 8, "guest steps beyond the tree depth")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := topology.NextValidG0Size(4*(*blockSide)*(*blockSide), *blockSide)
+	g0, err := topology.BuildG0WithBlockSide(n, *blockSide, *seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	guest, err := g0.SampleGuest(rng, *c)
+	if err != nil {
+		return err
+	}
+	host, err := topology.WrappedButterfly(*hostDim)
+	if err != nil {
+		return err
+	}
+	T := depgraph.TreeDepth(*blockSide) + *extra
+	pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, T)
+	if err != nil {
+		return err
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("guest G ∈ U[G0]: n=%d %d-regular; host m=%d; T=%d\n", n, *c, host.N(), T)
+	fmt.Printf("protocol: T'=%d slowdown=%.1f k=%.1f  [%v]\n",
+		pr.HostSteps(), pr.Slowdown(), pr.Inefficiency(), pr.Stats())
+
+	comp := sim.MixMod(guest, rng)
+	if err := pebble.VerifyCarries(pr, comp); err != nil {
+		return fmt.Errorf("stateful replay failed: %w", err)
+	}
+	fmt.Println("stateful replay matches direct execution ✓")
+
+	lw, err := st.ComputeLemmaWeights(g0)
+	if err != nil {
+		return err
+	}
+	z := lw.CriticalTimes(T)
+	fmt.Printf("Lemma 3.12: D=%d, max tree size=%d (48a²=%d); |Z_S|=%d ≥ %d\n",
+		lw.D, lw.TreeSize, 48*g0.A*g0.A, len(z), (T-lw.D)/2)
+	if len(z) == 0 {
+		return fmt.Errorf("no critical times")
+	}
+	t0 := z[len(z)/2]
+	roots, err := st.ChooseRoots(g0, lw, t0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("roots at t0=%d: %v\n", t0, roots)
+	frag, err := st.ExtractFragment(t0, st.PickLightest(t0))
+	if err != nil {
+		return err
+	}
+	if err := frag.Validate(); err != nil {
+		return err
+	}
+	dSizes := make([]int, n)
+	for i := range frag.D {
+		dSizes[i] = len(frag.D[i])
+	}
+	fmt.Printf("fragment: Σ|B_i|=%d; Lemma 3.3: log2 X ≤ %.1f vs log2 |U[G0]| ≥ %.1f\n",
+		frag.SumB(), core.Log2MultiplicityExact(dSizes, *c-12),
+		core.Params{C: *c}.Defaults().Log2Guests(n))
+	return nil
+}
+
+// cmdReport runs the entire evaluation suite and prints every table.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return experiments.RunAll(os.Stdout, *seed)
+}
+
+// cmdGap prints the conclusion's open-problem table: the host size needed
+// for constant slowdown, between Theorem 3.1's Ω(n·log n)-style lower bound
+// and [14]'s O(n^{1+ε}) upper bound.
+func cmdGap(args []string) error {
+	fs := flag.NewFlagSet("gap", flag.ExitOnError)
+	s0 := fs.Float64("s0", 2, "slowdown cap (constant)")
+	eps := fs.Float64("eps", 0.5, "the [14] upper-bound exponent ε")
+	toy := fs.Bool("toy", true, "use unit-scale constants (default; paper constants are vacuous here)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := core.ToyParams()
+	label := "toy"
+	if !*toy {
+		p = core.Params{}.Defaults()
+		label = "paper"
+	}
+	ns := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	rows, err := p.OpenProblemGap(ns, *s0, *eps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Conclusion (open problem), %s constants: host size for slowdown ≤ %.0f\n", label, *s0)
+	fmt.Printf("%-10s  %-16s  %-16s  %-10s\n", "n", "m lower (Thm3.1)", "m upper n^(1+ε)", "m_low/n")
+	for _, r := range rows {
+		fmt.Printf("%-10d  %-16.0f  %-16.0f  %-10.2f\n", r.N, r.MLower, r.MUpper, r.MLower/float64(r.N))
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI tests drive every subcommand in-process with small parameters.
+// Output goes to stdout (not asserted beyond error-free completion); the
+// underlying logic is covered by the package tests.
+
+func TestCmdTopoAllKinds(t *testing.T) {
+	kinds := [][]string{
+		{"-kind", "mesh", "-n", "16"},
+		{"-kind", "torus", "-n", "16"},
+		{"-kind", "multitorus", "-n", "144", "-a", "4"},
+		{"-kind", "butterfly", "-d", "3"},
+		{"-kind", "wbutterfly", "-d", "3"},
+		{"-kind", "ccc", "-d", "3"},
+		{"-kind", "se", "-d", "3"},
+		{"-kind", "debruijn", "-d", "3"},
+		{"-kind", "hypercube", "-d", "3"},
+		{"-kind", "regular", "-n", "16", "-deg", "4"},
+		{"-kind", "g0", "-n", "144", "-a", "4"},
+		{"-kind", "ring", "-n", "8"},
+		{"-kind", "complete", "-n", "6"},
+	}
+	for _, args := range kinds {
+		if err := cmdTopo(args); err != nil {
+			t.Errorf("topo %v: %v", args, err)
+		}
+	}
+	if err := cmdTopo([]string{"-kind", "nope"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCmdRoute(t *testing.T) {
+	if err := cmdRoute([]string{"-kind", "torus", "-n", "36", "-h", "2", "-trials", "2"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdRoute([]string{"-kind", "torus", "-n", "36", "-h", "1", "-trials", "1", "-singleport"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	for _, host := range []string{"butterfly", "torus", "expander", "ring"} {
+		args := []string{"-host", host, "-hostdim", "3", "-hostsize", "16", "-n", "32", "-steps", "2"}
+		if err := cmdSimulate(args); err != nil {
+			t.Errorf("simulate %s: %v", host, err)
+		}
+	}
+	if err := cmdSimulate([]string{"-host", "nope"}); err == nil {
+		t.Error("unknown host accepted")
+	}
+}
+
+func TestCmdBoundAndTradeoff(t *testing.T) {
+	if err := cmdBound([]string{"-n", "1024", "-m", "256"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdBound([]string{"-log2m", "1000000"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdBound([]string{"-n", "1024", "-m", "256", "-toy"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdTradeoff([]string{"-n", "4096", "-ms", "64,256", "-toy"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdTradeoff([]string{"-ms", "64,abc"}); err == nil {
+		t.Error("bad size list accepted")
+	}
+}
+
+func TestCmdPebbleSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.json")
+	if err := cmdPebble([]string{"-n", "12", "-steps", "2", "-save", file}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPebble([]string{"-load", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPebble([]string{"-load", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdFigure1(t *testing.T) {
+	if err := cmdFigure1([]string{"-blockside", "4"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdCount(t *testing.T) {
+	if err := cmdCount([]string{"-n", "6", "-c", "3"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdCount([]string{"-n", "30", "-c", "3"}); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+func TestCmdExperimentSmall(t *testing.T) {
+	// The cheap experiments; the heavy ones run in the bench harness.
+	for _, id := range []string{"E2", "E3", "E6", "E8", "E11"} {
+		if err := cmdExperiment([]string{"-id", id}); err != nil {
+			t.Errorf("experiment %s: %v", id, err)
+		}
+	}
+	if err := cmdExperiment([]string{"-id", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	if err := cmdAnalyze([]string{"-blockside", "4", "-hostdim", "3", "-extra", "4"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdGapAndReportSmoke(t *testing.T) {
+	if err := cmdGap([]string{"-s0", "2", "-eps", "0.5"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdGap([]string{"-s0", "0.2"}); err == nil {
+		t.Error("s0 < 1 accepted")
+	}
+}
+
+func TestCmdReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	if err := cmdReport([]string{"-seed", "2"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdTopoSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.json")
+	if err := cmdTopo([]string{"-kind", "torus", "-n", "16", "-save", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTopo([]string{"-load", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTopo([]string{"-load", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

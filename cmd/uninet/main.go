@@ -1,0 +1,83 @@
+// Command uninet is the command-line front end of the universal-network
+// laboratory. Subcommands:
+//
+//	topo       — describe a topology (size, degree, diameter, expansion)
+//	route      — route random h–h problems on a topology and report steps
+//	simulate   — simulate a random guest on a host and report the slowdown
+//	bound      — evaluate the Theorem 3.1 lower bound k(m)
+//	tradeoff   — print the m·s vs n·log m trade-off table
+//	pebble     — build and validate a pebble-game protocol; print statistics
+//	figure1    — render the Figure 1 dependency tree
+//	experiment — run one of the E1..E10 experiments and print its table
+//
+// Every subcommand takes -seed for reproducibility and prints plain tables.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "topo":
+		err = cmdTopo(args)
+	case "route":
+		err = cmdRoute(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "bound":
+		err = cmdBound(args)
+	case "tradeoff":
+		err = cmdTradeoff(args)
+	case "pebble":
+		err = cmdPebble(args)
+	case "figure1":
+		err = cmdFigure1(args)
+	case "experiment":
+		err = cmdExperiment(args)
+	case "count":
+		err = cmdCount(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "report":
+		err = cmdReport(args)
+	case "gap":
+		err = cmdGap(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "uninet: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uninet %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: uninet <command> [flags]
+
+commands:
+  topo       -kind mesh|torus|multitorus|butterfly|wbutterfly|ccc|se|debruijn|hypercube|regular|g0 -n N [-d D] [-a A] [-deg DEG] [-seed S] [-save F | -load F]
+  route      -kind ... -n N -h H -trials K [-seed S]
+  simulate   -host butterfly|torus|expander|ring -hostsize M|-hostdim D -n N -deg C -steps T [-seed S]
+  bound      -log2m X [-toy]  or  -n N -m M [-toy]
+  tradeoff   -n N -ms 256,1024,4096 [-toy]
+  pebble     -n N -deg C -hostdim D -steps T [-seed S]
+  figure1    [-blockside P] [-seed S]
+  experiment -id E1..E22 [-seed S]
+  count      -n N -c C   (exact number of labeled c-regular graphs)
+  analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
+  report     [-seed S]   (run the full E1..E22 suite and print every table)
+  gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
+`)
+}

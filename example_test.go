@@ -1,0 +1,151 @@
+package universalnet_test
+
+// Runnable godoc examples: each is both documentation and a test (the
+// Output comments are verified by `go test`). All randomness is seeded.
+
+import (
+	"fmt"
+	"math/rand"
+
+	universalnet "universalnet"
+)
+
+// The core use case: simulate an arbitrary constant-degree network on a
+// smaller universal butterfly host and verify the result.
+func ExampleEmbeddingSimulator() {
+	rng := rand.New(rand.NewSource(42))
+	guest, _ := universalnet.RandomGuest(rng, 96, 4)
+	host, _ := universalnet.ButterflyHost(3) // m = 24
+	comp := universalnet.MixMod(guest, rng)
+
+	rep, _ := (&universalnet.EmbeddingSimulator{Host: host}).Run(comp, 4)
+	direct, _ := comp.Run(4)
+
+	fmt.Println("verified:", rep.Trace.Checksum() == direct.Checksum())
+	fmt.Println("load:", rep.MaxLoad)
+	// Output:
+	// verified: true
+	// load: 4
+}
+
+// Theorem 3.1 numerically: the inefficiency bound k = Ω(log m) depends only
+// on log₂ m. The paper's constants keep it trivial until astronomical
+// sizes; unit-scale constants show the shape.
+func ExampleParams_KLowerBound() {
+	paper := universalnet.PaperParams()
+	toy := universalnet.ToyParams()
+	k1, _ := paper.KLowerBound(4e6)
+	k2, _ := toy.KLowerBound(20)
+	fmt.Printf("paper constants, log2 m = 4e6: k ≥ %.1f\n", k1)
+	fmt.Printf("toy constants,   log2 m = 20:  k ≥ %.2f\n", k2)
+	// Output:
+	// paper constants, log2 m = 4e6: k ≥ 78.6
+	// toy constants,   log2 m = 20:  k ≥ 5.37
+}
+
+// The pebble game of §3.1: build a protocol, validate it against the model
+// rules, and extract a fragment (Definition 3.2).
+func ExampleBuildEmbeddingProtocol() {
+	rng := rand.New(rand.NewSource(7))
+	guest, _ := universalnet.RandomGuest(rng, 12, 4)
+	host, _ := universalnet.WrappedButterfly(3)
+
+	pr, _ := universalnet.BuildEmbeddingProtocol(guest, host, nil, 3)
+	st, err := pr.Validate()
+	fmt.Println("valid:", err == nil)
+
+	frag, _ := st.ExtractFragment(1, nil)
+	fmt.Println("fragment consistent:", frag.Validate() == nil)
+	// Output:
+	// valid: true
+	// fragment consistent: true
+}
+
+// The h–h relation decomposition of §2: any h–h problem splits into at most
+// h permutation rounds (König's edge-coloring theorem).
+func ExampleDecomposeHRelation() {
+	pairs := []universalnet.RoutingPair{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, // node 0 sends twice
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+	}
+	rounds, _ := universalnet.DecomposeHRelation(3, pairs)
+	fmt.Println("rounds:", len(rounds))
+	total := 0
+	for _, r := range rounds {
+		total += len(r)
+	}
+	fmt.Println("pairs covered:", total)
+	// Output:
+	// rounds: 2
+	// pairs covered: 4
+}
+
+// The 2^{O(t)}·n tree-cached host: constant slowdown c+2 for length-t runs.
+func ExampleBuildTreeCachedHost() {
+	host, _ := universalnet.BuildTreeCachedHost(8, 2, 3)
+	guest, _ := universalnet.RandomGuest(rand.New(rand.NewSource(3)), 8, 2)
+	pr, _ := host.SimulateProtocol(guest)
+	if _, err := pr.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("m = %d, slowdown = %.0f\n", host.M(), pr.Slowdown())
+	// Output:
+	// m = 320, slowdown = 4
+}
+
+// Lemma 3.10 made executable: a binary dependency tree whose leaves cover a
+// whole partition torus of G₀.
+func ExampleBuildDependencyTree() {
+	n := universalnet.NextValidG0Size(100, 4)
+	g0, _ := universalnet.BuildG0(n, 16, 7)
+	depth := universalnet.TreeDepth(g0.BlockSide)
+
+	tree, _ := universalnet.BuildDependencyTree(g0, g0.Blocks[0].Vertices[0], depth)
+	fmt.Println("binary:", tree.Validate(g0.Multitorus, 2) == nil)
+	fmt.Println("covers block:", tree.LeavesCover(g0.Blocks[0].Vertices, depth) == nil)
+	fmt.Printf("size ≤ 48a²: %v (%d ≤ %d)\n", tree.Size() <= 48*g0.A*g0.A, tree.Size(), 48*g0.A*g0.A)
+	// Output:
+	// binary: true
+	// covers block: true
+	// size ≤ 48a²: true (122 ≤ 192)
+}
+
+// Offline permutation routing [19]: 2d−1 steps through a Beneš network,
+// vertex-disjoint by Waksman's theorem.
+func ExampleOfflinePermutationSteps() {
+	perm := rand.New(rand.NewSource(5)).Perm(32)
+	steps, _ := universalnet.OfflinePermutationSteps(5, perm)
+	fmt.Println("steps:", steps)
+	// Output:
+	// steps: 9
+}
+
+// Stateful replay: a valid protocol carries the actual computation.
+func ExampleVerifyCarries() {
+	rng := rand.New(rand.NewSource(9))
+	guest, _ := universalnet.RandomGuest(rng, 16, 4)
+	host, _ := universalnet.Torus(9)
+	pr, _ := universalnet.BuildEmbeddingProtocol(guest, host, nil, 3)
+	comp := universalnet.MixMod(guest, rng)
+	fmt.Println("carries computation:", universalnet.VerifyCarries(pr, comp) == nil)
+	// Output:
+	// carries computation: true
+}
+
+// The deterministic offline host of Theorem 2.1's proof: the routing cost
+// per guest step is an exact formula, not a measurement.
+func ExampleNewBenesHost() {
+	bh, _ := universalnet.NewBenesHost(3)
+	guest, _ := universalnet.RandomGuest(rand.New(rand.NewSource(11)), 16, 4)
+	pr, _ := universalnet.BuildBenesProtocol(guest, bh, 2)
+	if _, err := pr.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("rows:", bh.Rows)
+	fmt.Println("valid protocol:", true)
+	// Output:
+	// rows: 8
+	// valid protocol: true
+}

@@ -1,0 +1,73 @@
+// Butterflyhost: the host bake-off the paper's §2 motivates — compare
+// candidate universal networks of (roughly) equal size simulating the same
+// guest, and watch diameter decide the outcome: the butterfly and the
+// expander achieve s ≈ (n/m)·log m while the ring pays its Θ(m) diameter.
+// Also demonstrates the 2^{O(t)}·n tree-cached host with constant slowdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	universalnet "universalnet"
+)
+
+func main() {
+	const (
+		n     = 256
+		deg   = 4
+		steps = 4
+	)
+	rng := rand.New(rand.NewSource(7))
+	guest, err := universalnet.RandomGuest(rng, n, deg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := universalnet.MixMod(guest, rng)
+	direct, err := comp.Run(steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	butterfly, err := universalnet.ButterflyHost(4) // m = 64
+	if err != nil {
+		log.Fatal(err)
+	}
+	torus, err := universalnet.TorusHost(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expanderHost, err := universalnet.ExpanderHost(64, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("guest: n=%d %d-regular, T=%d steps; hosts of size m=64 (load 4)\n\n", n, deg, steps)
+	fmt.Printf("%-24s  %-9s  %-10s  %-9s\n", "host", "diameter", "slowdown", "verified")
+	for _, host := range []*universalnet.Host{butterfly, torus, expanderHost} {
+		rep, err := (&universalnet.EmbeddingSimulator{Host: host}).Run(comp, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := rep.Trace.Checksum() == direct.Checksum()
+		fmt.Printf("%-24s  %-9d  %-10.1f  %-9v\n",
+			host.Name, host.Graph.Diameter(), rep.Slowdown, ok)
+	}
+
+	// The other end of the trade-off: a host of size 2^{O(t)}·n with
+	// constant slowdown for length-t computations (§1 remark).
+	tc, err := universalnet.BuildTreeCachedHost(n, deg, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := tc.SimulateProtocol(guest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntree-cached host: m=%d (= %.0f·n) simulates %d steps with slowdown %.0f (constant c+2)\n",
+		tc.M(), float64(tc.M())/float64(n), tc.Depth, pr.Slowdown())
+}

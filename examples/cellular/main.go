@@ -1,0 +1,92 @@
+// Cellular: a domain application of universal simulation — run a cellular
+// automaton written for a 32×32 torus machine on a 64-processor butterfly,
+// the "your network program on my smaller machine" scenario the paper's
+// introduction motivates. The automaton is a majority-vote process; the
+// host-reconstructed trace is verified cell for cell.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	universalnet "universalnet"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+const side = 32
+
+// majorityStep is the automaton: a cell becomes 1 iff at least half of its
+// closed neighborhood (itself + 4 torus neighbors) is 1.
+func majorityStep(_ int, self sim.State, neighbors []sim.State) sim.State {
+	count := int(self & 1)
+	for _, s := range neighbors {
+		count += int(s & 1)
+	}
+	if 2*count >= len(neighbors)+1 {
+		return 1
+	}
+	return 0
+}
+
+func render(states []sim.State) string {
+	out := ""
+	for x := 0; x < side; x += 2 { // halve vertical resolution
+		for y := 0; y < side; y++ {
+			if states[topology.MeshIndex(side, x, y)] == 1 {
+				out += "█"
+			} else {
+				out += "·"
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func main() {
+	guest, err := universalnet.Torus(side * side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	init := make([]sim.State, side*side)
+	for i := range init {
+		if rng.Float64() < 0.45 {
+			init[i] = 1
+		}
+	}
+	comp, err := sim.NewComputation(guest, init, majorityStep, "majority-CA")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const steps = 8
+	host, err := universalnet.ButterflyHost(4) // m = 64 for n = 1024 cells
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := (&universalnet.EmbeddingSimulator{Host: host}).Run(comp, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := comp.Run(steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		log.Fatal("simulated automaton diverged")
+	}
+
+	fmt.Printf("majority automaton, %d×%d torus guest (n=%d) on %s\n",
+		side, side, side*side, host.Name)
+	fmt.Printf("T=%d guest steps → %d host steps (slowdown %.1f; (n/m)·log2 m = %.1f)\n\n",
+		steps, rep.HostSteps, rep.Slowdown,
+		universalnet.UpperBoundSlowdown(side*side, host.Graph.N(), 1))
+	fmt.Println("initial state:")
+	fmt.Print(render(rep.Trace.States[0]))
+	fmt.Println("\nafter", steps, "steps (coarsened by majority dynamics):")
+	fmt.Print(render(rep.Trace.Final()))
+	fmt.Println("\ntrace verified against direct execution ✓")
+}

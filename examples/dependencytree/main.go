@@ -1,0 +1,67 @@
+// Dependencytree: reproduce Figure 1 — a dependency tree in Γ_{G₀} — and
+// verify the Lemma 3.10 quantities (binary, depth O(a), size O(a²), leaves
+// covering a whole partition torus) for every possible root of a block.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	universalnet "universalnet"
+	"universalnet/internal/experiments"
+)
+
+func main() {
+	const blockSide = 4 // p = 2a with a = 2
+	n := universalnet.NextValidG0Size(100, blockSide)
+
+	g0, err := universalnet.BuildG0(n, 1<<(blockSide*blockSide/4), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g0.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G0 (Definition 3.9): n=%d, block side %d (a=%d), %d partition tori, max degree %d\n",
+		g0.N, g0.BlockSide, g0.A, g0.H(), g0.Graph.MaxDegree())
+
+	depth := universalnet.TreeDepth(blockSide)
+	fmt.Printf("dependency-tree depth D(p) = %d\n\n", depth)
+
+	// Figure 1: one tree rendered level by level.
+	tree, err := universalnet.BuildDependencyTree(g0, g0.Blocks[0].Vertices[0], depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderDependencyTree(g0, tree))
+	fmt.Println()
+
+	// Lemma 3.10 for every root of every block: binary, uniform depth,
+	// leaves cover the torus, size O(a²).
+	maxSize := 0
+	trees := 0
+	for bi := range g0.Blocks {
+		for _, v := range g0.Blocks[bi].Vertices {
+			tr, err := universalnet.BuildDependencyTree(g0, v, depth)
+			if err != nil {
+				log.Fatalf("root %d: %v", v, err)
+			}
+			if err := tr.Validate(g0.Multitorus, 2); err != nil {
+				log.Fatalf("root %d: %v", v, err)
+			}
+			if err := tr.LeavesCover(g0.Blocks[bi].Vertices, depth); err != nil {
+				log.Fatalf("root %d: %v", v, err)
+			}
+			if s := tr.Size(); s > maxSize {
+				maxSize = s
+			}
+			trees++
+		}
+	}
+	a := g0.A
+	fmt.Printf("validated %d dependency trees (every root of every block)\n", trees)
+	fmt.Printf("max size %d = %.1f·a²  (paper's Lemma 3.10 constant: 48)\n",
+		maxSize, float64(maxSize)/float64(a*a))
+	fmt.Printf("uniform depth %d = %.1f·a (paper states depth a; ours is Θ(a))\n",
+		depth, float64(depth)/float64(a))
+}

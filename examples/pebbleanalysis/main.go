@@ -1,0 +1,104 @@
+// Pebbleanalysis: walk through the §3 lower-bound machinery on a live
+// protocol — build a guest from 𝒰[G₀], simulate it on a butterfly through
+// the pebble game, prove the protocol carries the computation, and then
+// extract everything the counting argument uses: representatives,
+// generators, fragments, weights, critical times, and the heavy-processor
+// threshold of Lemma 3.15.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	universalnet "universalnet"
+	"universalnet/internal/core"
+	"universalnet/internal/topology"
+)
+
+func main() {
+	// 1. G₀ (Definition 3.9) and a guest from 𝒰[G₀] with c = 16.
+	const blockSide = 4
+	n := universalnet.NextValidG0Size(60, blockSide)
+	g0, err := topology.BuildG0WithBlockSide(n, blockSide, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	guest, err := g0.SampleGuest(rng, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guest G ∈ 𝒰[G₀]: %v (contains G₀: %v)\n", guest, g0.Graph.IsSubgraphOf(guest))
+
+	// 2. A k-inefficient simulation protocol on a butterfly host.
+	host, err := universalnet.WrappedButterfly(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	T := universalnet.TreeDepth(blockSide) + 8
+	pr, err := universalnet.BuildEmbeddingProtocol(guest, host, nil, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protocol: m=%d, T=%d, T'=%d, slowdown %.1f, inefficiency k=%.1f\n",
+		host.N(), T, pr.HostSteps(), pr.Slowdown(), pr.Inefficiency())
+	fmt.Printf("profile: %v\n", pr.Stats())
+
+	// 3. The protocol carries the actual computation (stateful replay).
+	comp := universalnet.MixMod(guest, rng)
+	if err := universalnet.VerifyCarries(pr, comp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stateful replay matches direct execution ✓")
+
+	// 4. Lemma 3.12: weights, critical times Z_S, root selection.
+	lw, err := st.ComputeLemmaWeights(g0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	z := lw.CriticalTimes(T)
+	fmt.Printf("\nLemma 3.12: tree depth D=%d, max tree size=%d (≤48a²=%d)\n",
+		lw.D, lw.TreeSize, 48*g0.A*g0.A)
+	fmt.Printf("critical times Z_S = %v (|Z_S|=%d ≥ (T−D)/2=%d)\n", z, len(z), (T-lw.D)/2)
+
+	t0 := z[len(z)/2]
+	roots, err := st.ChooseRoots(g0, lw, t0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen roots r_1..r_h at t0=%d: %v\n", t0, roots)
+
+	// 5. A fragment (Definition 3.2) and its multiplicity bound (Lemma 3.3).
+	frag, err := st.ExtractFragment(t0, st.PickLightest(t0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := frag.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	dSizes := make([]int, n)
+	maxD := 0
+	for i := range frag.D {
+		dSizes[i] = len(frag.D[i])
+		if dSizes[i] > maxD {
+			maxD = dSizes[i]
+		}
+	}
+	fmt.Printf("\nfragment at t0=%d: Σ|B_i| = %d (≤ q·n·k with q=384), max|D_i| = %d\n",
+		t0, frag.SumB(), maxD)
+	fmt.Printf("Lemma 3.3 multiplicity: log2 X ≤ %.1f  (log2 |𝒰[G₀]| ≥ %.1f)\n",
+		core.Log2MultiplicityExact(dSizes, 16-12), core.Params{}.Defaults().Log2Guests(n))
+
+	// 6. Lemma 3.15's heavy-processor threshold.
+	params := core.Params{}.Defaults()
+	k := pr.Inefficiency()
+	fmt.Printf("\nLemma 3.15: heavy threshold n/√m = %.1f; ≤ %.0f processors may be heavy\n",
+		core.HeavyThreshold(n, host.N()), core.HeavyProcessorBound(host.N(), k))
+	fmt.Printf("frontier gap bound: ≥ %.2f host steps between critical frontiers\n",
+		params.FrontierGapBound(n, host.N(), k))
+}

@@ -1,0 +1,3 @@
+module universalnet
+
+go 1.22

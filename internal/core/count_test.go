@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func wantCount(t *testing.T, n, c int, want int64) {
+	t.Helper()
+	got, err := CountRegularGraphsExact(n, c)
+	if err != nil {
+		t.Fatalf("n=%d c=%d: %v", n, c, err)
+	}
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Errorf("count(%d,%d) = %v, want %d", n, c, got, want)
+	}
+}
+
+func TestCountRegularGraphsKnownValues(t *testing.T) {
+	// 0-regular: exactly one (empty) graph.
+	wantCount(t, 5, 0, 1)
+	// 1-regular: perfect matchings: (n-1)!! for even n.
+	wantCount(t, 2, 1, 1)
+	wantCount(t, 4, 1, 3)
+	wantCount(t, 6, 1, 15)
+	wantCount(t, 8, 1, 105)
+	// 2-regular: disjoint cycle covers (OEIS A001205).
+	wantCount(t, 3, 2, 1)
+	wantCount(t, 4, 2, 3)
+	wantCount(t, 5, 2, 12)
+	wantCount(t, 6, 2, 70)
+	wantCount(t, 7, 2, 465)
+	// 3-regular (cubic) labeled graphs (OEIS A005814).
+	wantCount(t, 4, 3, 1)
+	wantCount(t, 6, 3, 70)
+	wantCount(t, 8, 3, 19355)
+	wantCount(t, 10, 3, 11180820)
+	// (n-1)-regular: only K_n.
+	wantCount(t, 5, 4, 1)
+	wantCount(t, 6, 5, 1)
+}
+
+func TestCountRegularGraphsImpossible(t *testing.T) {
+	// Odd degree sum.
+	wantCount(t, 5, 3, 0)
+	wantCount(t, 3, 1, 0)
+	// Degree ≥ n.
+	wantCount(t, 4, 4, 0)
+}
+
+func TestCountRegularGraphsGuards(t *testing.T) {
+	if _, err := CountRegularGraphsExact(-1, 2); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := CountRegularGraphsExact(20, 3); err == nil {
+		t.Error("oversized n accepted")
+	}
+}
+
+func TestCountMatchesConfigurationEstimate(t *testing.T) {
+	// The configuration-model estimate should be within a factor of ~4 of
+	// the exact count already at n=10, c=3 (the e^{-(c²-1)/4} correction is
+	// asymptotic).
+	exact, err := CountRegularGraphsExact(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, _ := new(big.Float).SetInt(exact).Float64()
+	est := Log2RegularGraphCount(10, 3)
+	diff := math.Abs(est - math.Log2(lf))
+	if diff > 2 { // within a factor of 4
+		t.Errorf("estimate off by 2^%.2f (est %.2f vs exact %.2f)", diff, est, math.Log2(lf))
+	}
+}

@@ -1,0 +1,184 @@
+// Package depgraph implements the dependency graph Γ_G of Definition 3.7 —
+// the time-expanded graph whose vertices are (processor, time) pairs — and
+// the dependency trees T_{i,t} of Lemma 3.10: binary trees inside Γ_{G₀},
+// rooted at one (processor, time) node, whose leaves cover an entire
+// partition torus at a single later time step.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+// Node is a vertex (P, t) of the dependency graph Γ_G.
+type Node struct {
+	P int // processor index
+	T int // guest time step
+}
+
+// String renders the Γ vertex as (P_i, t_t).
+func (n Node) String() string { return fmt.Sprintf("(P%d,t%d)", n.P, n.T) }
+
+// Predecessors returns the Γ_G-predecessors of (P, t): (P, t−1) and
+// (P', t−1) for every neighbor P' of P. Empty for t ≤ 0.
+func Predecessors(g *graph.Graph, n Node) []Node {
+	if n.T <= 0 {
+		return nil
+	}
+	out := make([]Node, 0, g.Degree(n.P)+1)
+	out = append(out, Node{P: n.P, T: n.T - 1})
+	for _, w := range g.Neighbors(n.P) {
+		out = append(out, Node{P: w, T: n.T - 1})
+	}
+	return out
+}
+
+// Successors returns the Γ_G-successors of (P, t) within horizon T:
+// (P, t+1) and neighbors at t+1.
+func Successors(g *graph.Graph, n Node, horizon int) []Node {
+	if n.T >= horizon {
+		return nil
+	}
+	out := make([]Node, 0, g.Degree(n.P)+1)
+	out = append(out, Node{P: n.P, T: n.T + 1})
+	for _, w := range g.Neighbors(n.P) {
+		out = append(out, Node{P: w, T: n.T + 1})
+	}
+	return out
+}
+
+// IsEdge reports whether (from → to) is an edge of Γ_G.
+func IsEdge(g *graph.Graph, from, to Node) bool {
+	if to.T != from.T+1 {
+		return false
+	}
+	return from.P == to.P || g.HasEdge(from.P, to.P)
+}
+
+// Reaches reports whether (P,t) →^i (P',t+i) holds in Γ_G, i.e. whether a
+// directed path exists. Because staying put is always allowed, this is
+// equivalent to dist_G(P, P') ≤ t' − t.
+func Reaches(g *graph.Graph, from, to Node) bool {
+	if to.T < from.T {
+		return false
+	}
+	d := g.BFS(from.P)[to.P]
+	return d >= 0 && d <= to.T-from.T
+}
+
+// Tree is a directed tree inside a dependency graph: every non-root node has
+// exactly one parent, and edges go one time step forward.
+type Tree struct {
+	Root   Node
+	Parent map[Node]Node
+}
+
+// Size returns the number of nodes (root included).
+func (tr *Tree) Size() int { return len(tr.Parent) + 1 }
+
+// Nodes returns all tree nodes in deterministic (time, processor) order.
+func (tr *Tree) Nodes() []Node {
+	out := make([]Node, 0, tr.Size())
+	out = append(out, tr.Root)
+	for n := range tr.Parent {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].P < out[j].P
+	})
+	return out
+}
+
+// Children returns a map node → children (each sorted by processor).
+func (tr *Tree) Children() map[Node][]Node {
+	ch := make(map[Node][]Node, tr.Size())
+	for n, p := range tr.Parent {
+		ch[p] = append(ch[p], n)
+	}
+	for _, c := range ch {
+		sort.Slice(c, func(i, j int) bool { return c[i].P < c[j].P })
+	}
+	return ch
+}
+
+// Leaves returns the nodes without children, sorted.
+func (tr *Tree) Leaves() []Node {
+	ch := tr.Children()
+	var out []Node
+	for _, n := range tr.Nodes() {
+		if len(ch[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Depth returns the maximum root-to-node distance (in time steps).
+func (tr *Tree) Depth() int {
+	max := 0
+	for n := range tr.Parent {
+		if d := n.T - tr.Root.T; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks the structural invariants of a dependency tree inside
+// Γ_g: every parent edge is a Γ-edge, every non-root node has its parent in
+// the tree, the root has no parent, out-degree is at most maxOut (2 for the
+// binary trees of Lemma 3.10), and node (P,t) pairs are unique by
+// construction of the map.
+func (tr *Tree) Validate(g *graph.Graph, maxOut int) error {
+	if _, hasParent := tr.Parent[tr.Root]; hasParent {
+		return fmt.Errorf("depgraph: root %v has a parent", tr.Root)
+	}
+	outdeg := make(map[Node]int)
+	for n, p := range tr.Parent {
+		if !IsEdge(g, p, n) {
+			return fmt.Errorf("depgraph: %v → %v is not a Γ edge", p, n)
+		}
+		if p != tr.Root {
+			if _, ok := tr.Parent[p]; !ok {
+				return fmt.Errorf("depgraph: parent %v of %v not in tree", p, n)
+			}
+		}
+		outdeg[p]++
+		if outdeg[p] > maxOut {
+			return fmt.Errorf("depgraph: node %v exceeds out-degree %d", p, maxOut)
+		}
+	}
+	// Acyclicity follows from the strictly increasing time coordinate.
+	return nil
+}
+
+// LeavesCover checks that the leaves are exactly {(v, tEnd) : v ∈ vertices}.
+func (tr *Tree) LeavesCover(vertices []int, tEnd int) error {
+	want := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		want[v] = true
+	}
+	leaves := tr.Leaves()
+	seen := make(map[int]bool)
+	for _, l := range leaves {
+		if l.T != tEnd {
+			return fmt.Errorf("depgraph: leaf %v not at tEnd=%d", l, tEnd)
+		}
+		if !want[l.P] {
+			return fmt.Errorf("depgraph: leaf %v outside the target vertex set", l)
+		}
+		if seen[l.P] {
+			return fmt.Errorf("depgraph: duplicate leaf for processor %d", l.P)
+		}
+		seen[l.P] = true
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("depgraph: %d of %d target vertices covered", len(seen), len(want))
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package depgraph
+
+import (
+	"fmt"
+
+	"universalnet/internal/topology"
+)
+
+// Dependency-tree construction (Lemma 3.10).
+//
+// The lemma needs, for each partition torus 𝒯_j of side p = 2a and each
+// processor P_i ∈ 𝒯_j, a binary tree in Γ_{G₀} rooted at (P_i, t − D) whose
+// leaves are exactly 𝒯_j × {t}, of size O(a²) and depth D = O(a).
+//
+// We follow the paper's recursive scheme: translate block coordinates so the
+// root sits at relative (0,0) (the block is a torus, so any processor can be
+// the root); split the relative coordinate rectangle into four quadrants;
+// send staggered, constant-speed, dimension-ordered paths from the root to a
+// center of each quadrant; then recurse inside each quadrant with a fresh
+// per-level time budget. Constant speed plus staggered spawn times keeps
+// same-level paths from colliding in (processor, time) space; a small
+// deterministic search over spawn orders and X-Y/Y-X route orders resolves
+// the remaining target-chain collisions, and the builder verifies
+// disjointness globally.
+
+// levelDims returns the nominal square side at each recursion level:
+// p, ⌈p/2⌉, …, 1 (the last entry is 1).
+func levelDims(p int) []int {
+	dims := []int{p}
+	for dims[len(dims)-1] > 1 {
+		w := dims[len(dims)-1]
+		dims = append(dims, (w+1)/2)
+	}
+	return dims
+}
+
+// levelBudget returns the time budget of recursion level l for block side p:
+// enough for the worst-case in-rectangle distance plus the spawn stagger.
+func levelBudget(w int) int { return 2*(w-1) + 4 }
+
+// TreeDepth returns D(p), the uniform depth of every dependency tree built
+// for a block of side p: the sum of the per-level budgets. D(p) = O(p).
+func TreeDepth(p int) int {
+	d := 0
+	dims := levelDims(p)
+	for _, w := range dims[:len(dims)-1] {
+		d += levelBudget(w)
+	}
+	return d
+}
+
+// treeBuilder carries the construction state.
+type treeBuilder struct {
+	block    *topology.Block
+	p        int // block side
+	rootDX   int // root block-coordinates
+	rootDY   int
+	tEnd     int
+	parent   map[Node]Node
+	childCnt map[Node]int
+	occupied map[Node]bool
+	dims     []int
+}
+
+// vertexAt translates relative coordinates (rx, ry) — relative to the root,
+// wrapping around the block torus — into the global vertex index.
+func (b *treeBuilder) vertexAt(rx, ry int) int {
+	dx := (b.rootDX + rx) % b.p
+	dy := (b.rootDY + ry) % b.p
+	return b.block.Index(dx, dy)
+}
+
+// addChild links child under parent, enforcing uniqueness and binary
+// out-degree. The parent must already exist (or be the root).
+func (b *treeBuilder) addChild(parent, child Node) error {
+	if b.occupied[child] {
+		return fmt.Errorf("depgraph: node %v already in tree", child)
+	}
+	if !b.occupied[parent] {
+		return fmt.Errorf("depgraph: parent %v missing", parent)
+	}
+	if b.childCnt[parent] >= 2 {
+		return fmt.Errorf("depgraph: parent %v already binary", parent)
+	}
+	b.parent[child] = parent
+	b.childCnt[parent]++
+	b.occupied[child] = true
+	return nil
+}
+
+// rect is a sub-rectangle of the relative coordinate space.
+type rect struct{ x0, y0, w, h int }
+
+func (r rect) contains(x, y int) bool {
+	return x >= r.x0 && x < r.x0+r.w && y >= r.y0 && y < r.y0+r.h
+}
+
+func (r rect) center() (int, int) {
+	return r.x0 + (r.w-1)/2, r.y0 + (r.h-1)/2
+}
+
+// quadrants splits r into up to four non-empty sub-rectangles.
+func (r rect) quadrants() []rect {
+	w2 := (r.w + 1) / 2
+	h2 := (r.h + 1) / 2
+	var out []rect
+	for _, q := range []rect{
+		{r.x0, r.y0, w2, h2},
+		{r.x0, r.y0 + h2, w2, r.h - h2},
+		{r.x0 + w2, r.y0, r.w - w2, h2},
+		{r.x0 + w2, r.y0 + h2, r.w - w2, r.h - h2},
+	} {
+		if q.w > 0 && q.h > 0 {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// route returns the vertex sequence (exclusive of the start) of a monotone
+// dimension-ordered walk from (x0,y0) to (x1,y1): X first when xFirst.
+func route(x0, y0, x1, y1 int, xFirst bool) [][2]int {
+	var cells [][2]int
+	step := func(a, b int) int {
+		if b > a {
+			return a + 1
+		}
+		return a - 1
+	}
+	x, y := x0, y0
+	if xFirst {
+		for x != x1 {
+			x = step(x, x1)
+			cells = append(cells, [2]int{x, y})
+		}
+		for y != y1 {
+			y = step(y, y1)
+			cells = append(cells, [2]int{x, y})
+		}
+	} else {
+		for y != y1 {
+			y = step(y, y1)
+			cells = append(cells, [2]int{x, y})
+		}
+		for x != x1 {
+			x = step(x, x1)
+			cells = append(cells, [2]int{x, y})
+		}
+	}
+	return cells
+}
+
+// BuildDependencyTree constructs the Lemma 3.10 tree for the block
+// containing rootVertex, rooted at (rootVertex, tEnd − TreeDepth(p)), with
+// leaves exactly block × {tEnd}. tEnd must be at least TreeDepth(p).
+func BuildDependencyTree(g0 *topology.G0, rootVertex, tEnd int) (*Tree, error) {
+	bi := topology.BlockOf(g0.Blocks, rootVertex)
+	if bi < 0 {
+		return nil, fmt.Errorf("depgraph: vertex %d in no block", rootVertex)
+	}
+	block := &g0.Blocks[bi]
+	p := block.A
+	depth := TreeDepth(p)
+	if tEnd < depth {
+		return nil, fmt.Errorf("depgraph: tEnd=%d below tree depth %d", tEnd, depth)
+	}
+	rdx, rdy := block.Rel(rootVertex)
+	b := &treeBuilder{
+		block:    block,
+		p:        p,
+		rootDX:   rdx,
+		rootDY:   rdy,
+		tEnd:     tEnd,
+		parent:   make(map[Node]Node),
+		childCnt: make(map[Node]int),
+		occupied: make(map[Node]bool),
+		dims:     levelDims(p),
+	}
+	root := Node{P: rootVertex, T: tEnd - depth}
+	b.occupied[root] = true
+	if err := b.recurse(rect{0, 0, p, p}, 0, 0, 0, root.T); err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root, Parent: b.parent}, nil
+}
+
+// chain extends a self-chain of processor (rx,ry) from time t0+1 to t1.
+func (b *treeBuilder) chain(rx, ry, t0, t1 int) error {
+	v := b.vertexAt(rx, ry)
+	for t := t0 + 1; t <= t1; t++ {
+		if err := b.addChild(Node{P: v, T: t - 1}, Node{P: v, T: t}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recurse builds the subtree for rectangle r, whose sub-root sits at
+// relative (rx, ry) at time t (the node (vertexAt(rx,ry), t) already exists).
+func (b *treeBuilder) recurse(r rect, rx, ry, level, t int) error {
+	if r.w == 1 && r.h == 1 {
+		// Pure padding down to the common leaf time.
+		return b.chain(rx, ry, t, b.tEnd)
+	}
+	if level >= len(b.dims)-1 {
+		return fmt.Errorf("depgraph: rectangle %+v not reduced at final level", r)
+	}
+	deadline := t + levelBudget(b.dims[level])
+
+	quads := r.quadrants()
+	targets := make([]treeTarget, 0, len(quads))
+	for _, q := range quads {
+		tg := treeTarget{q: q}
+		if q.contains(rx, ry) {
+			tg.tx, tg.ty, tg.isRoot = rx, ry, true
+		} else {
+			tg.tx, tg.ty = q.center()
+		}
+		targets = append(targets, tg)
+	}
+
+	// Deterministic search over spawn orders and per-path route orders for a
+	// collision-free plan.
+	perms := permutations(len(targets))
+	committed := false
+	for _, perm := range perms {
+		for mask := 0; mask < 1<<len(targets); mask++ {
+			if plan, ok := b.tryPlan(targets, perm, mask, rx, ry, t, deadline); ok {
+				if err := b.commitPlan(plan); err != nil {
+					return err
+				}
+				committed = true
+				break
+			}
+		}
+		if committed {
+			break
+		}
+	}
+	if !committed {
+		return fmt.Errorf("depgraph: no collision-free plan for rect %+v at level %d", r, level)
+	}
+	for _, tg := range targets {
+		if err := b.recurse(tg.q, tg.tx, tg.ty, level+1, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planEdge is one parent→child link of a committed plan.
+type planEdge struct{ parent, child Node }
+
+// treeTarget describes one quadrant of a recursion step and its sub-root.
+type treeTarget struct {
+	q      rect
+	tx, ty int
+	isRoot bool // sub-root equals the current root
+}
+
+// tryPlan simulates one (spawn order, route mask) option and returns the
+// edges if they are collision-free and within budget.
+func (b *treeBuilder) tryPlan(targets []treeTarget, perm []int, mask int, rx, ry, t, deadline int) ([]planEdge, bool) {
+	var edges []planEdge
+	local := make(map[Node]bool)
+	localCnt := make(map[Node]int)
+	rootV := b.vertexAt(rx, ry)
+
+	place := func(parent, child Node) bool {
+		if b.occupied[child] || local[child] {
+			return false
+		}
+		if b.childCnt[parent]+localCnt[parent] >= 2 {
+			return false
+		}
+		if !b.occupied[parent] && !local[parent] {
+			return false
+		}
+		local[child] = true
+		localCnt[parent]++
+		edges = append(edges, planEdge{parent, child})
+		return true
+	}
+
+	// Spawn slots: paths (non-root targets) fork off the root chain at
+	// consecutive times; the chain itself must exist long enough.
+	nPaths := 0
+	for _, tg := range targets {
+		if !tg.isRoot {
+			nPaths++
+		}
+	}
+	// Root chain cells (rootV, t+1 .. t+nPaths).
+	for k := 1; k <= nPaths; k++ {
+		if t+k > deadline {
+			return nil, false
+		}
+		if !place(Node{P: rootV, T: t + k - 1}, Node{P: rootV, T: t + k}) {
+			return nil, false
+		}
+	}
+	slot := 0
+	for _, ti := range perm {
+		tg := targets[ti]
+		if tg.isRoot {
+			continue
+		}
+		slot++
+		xFirst := mask&(1<<ti) == 0
+		cells := route(rx, ry, tg.tx, tg.ty, xFirst)
+		// Fork from chain node (rootV, t+slot−1); cells at t+slot−1+j.
+		prev := Node{P: rootV, T: t + slot - 1}
+		tm := t + slot - 1
+		for _, c := range cells {
+			tm++
+			if tm > deadline {
+				return nil, false
+			}
+			nd := Node{P: b.vertexAt(c[0], c[1]), T: tm}
+			if !place(prev, nd) {
+				return nil, false
+			}
+			prev = nd
+		}
+		// Pad at the target until the deadline.
+		tv := b.vertexAt(tg.tx, tg.ty)
+		for tt := tm + 1; tt <= deadline; tt++ {
+			nd := Node{P: tv, T: tt}
+			if !place(prev, nd) {
+				return nil, false
+			}
+			prev = nd
+		}
+	}
+	// Root-quadrant continuation: extend the root chain to the deadline.
+	for tt := t + nPaths + 1; tt <= deadline; tt++ {
+		if !place(Node{P: rootV, T: tt - 1}, Node{P: rootV, T: tt}) {
+			return nil, false
+		}
+	}
+	return edges, true
+}
+
+// commitPlan installs the edges of a successful plan.
+func (b *treeBuilder) commitPlan(edges []planEdge) error {
+	for _, e := range edges {
+		if err := b.addChild(e.parent, e.child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// permutations returns all permutations of 0..n-1 (n ≤ 4 here).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				used[i] = true
+				rec(append(cur, i), used)
+				used[i] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, n))
+	return out
+}

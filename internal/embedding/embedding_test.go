@@ -1,0 +1,230 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/topology"
+)
+
+func TestIdentityEmbeddingRingIntoRing(t *testing.T) {
+	g, err := topology.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Identity(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Load() != 1 || e.Dilation() != 1 || e.Congestion() != 1 {
+		t.Errorf("load=%d dilation=%d congestion=%d; want 1,1,1", e.Load(), e.Dilation(), e.Congestion())
+	}
+	if e.SlowdownLowerBound() != 1 {
+		t.Errorf("slowdown bound %d", e.SlowdownLowerBound())
+	}
+}
+
+func TestIdentityEmbeddingCompleteIntoRing(t *testing.T) {
+	k, err := topology.Complete(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := topology.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Identity(k, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Antipodal guest edges dilate to ring distance 4.
+	if e.Dilation() != 4 {
+		t.Errorf("dilation = %d, want 4", e.Dilation())
+	}
+	if e.Congestion() < 4 {
+		t.Errorf("congestion = %d suspiciously low for K8 on a ring", e.Congestion())
+	}
+}
+
+func TestIdentitySizeMismatch(t *testing.T) {
+	a, _ := topology.Ring(8)
+	b, _ := topology.Ring(10)
+	if _, err := Identity(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestNewRejectsBadPlacement(t *testing.T) {
+	g, _ := topology.Ring(4)
+	h, _ := topology.Ring(4)
+	if _, err := New(g, h, []int{0, 1}); err == nil {
+		t.Error("short placement accepted")
+	}
+	if _, err := New(g, h, []int{0, 1, 2, 9}); err == nil {
+		t.Error("invalid host accepted")
+	}
+}
+
+func TestNewRejectsDisconnectedHost(t *testing.T) {
+	g, _ := topology.Ring(4)
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	if _, err := New(g, b.Build(), []int{0, 1, 2, 3}); err == nil {
+		t.Error("disconnected host accepted")
+	}
+}
+
+func TestRandomEmbeddingBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Torus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Random(guest, host, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Load() != 2 {
+		t.Errorf("load = %d, want 2 (balanced)", e.Load())
+	}
+}
+
+func TestGreedyEmbeddingBeatsRandomLocally(t *testing.T) {
+	// Embedding a torus into itself: greedy (locality-aware) must achieve
+	// much lower dilation than a random shuffle.
+	rng := rand.New(rand.NewSource(2))
+	guest, err := topology.Torus(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Torus(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy(guest, host, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := greedy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	random, err := Random(guest, host, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Dilation() >= random.Dilation() {
+		t.Errorf("greedy dilation %d not below random %d", greedy.Dilation(), random.Dilation())
+	}
+	if greedy.Load() > 1 {
+		t.Errorf("greedy load %d on equal-size host", greedy.Load())
+	}
+}
+
+func TestGreedyEmbeddingLoadCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	guest, err := topology.RandomGuest(rng, 48, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Ring(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Greedy(guest, host, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Load() != 4 {
+		t.Errorf("load = %d, want the capacity 4", e.Load())
+	}
+}
+
+func TestEmbeddingValidateCatchesCorruption(t *testing.T) {
+	g, _ := topology.Ring(6)
+	e, err := Identity(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one path with a non-edge jump.
+	for ge := range e.Paths {
+		e.Paths[ge] = []int{e.F[ge.U], (e.F[ge.U] + 3) % 6, e.F[ge.V]}
+		break
+	}
+	if err := e.Validate(); err == nil {
+		t.Error("corrupted path accepted")
+	}
+	// Remove a path entirely.
+	e2, _ := Identity(g, g)
+	for ge := range e2.Paths {
+		delete(e2.Paths, ge)
+		break
+	}
+	if err := e2.Validate(); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestPropertyEmbeddingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + 2*r.Intn(8) // even, for regular guests
+		guest, err := topology.RandomRegular(r, n, 3)
+		if err != nil || !guest.IsConnected() {
+			return true // skip rare disconnected samples
+		}
+		host, err := topology.Ring(4 + r.Intn(8))
+		if err != nil {
+			return false
+		}
+		e, err := Random(guest, host, r)
+		if err != nil {
+			return false
+		}
+		if e.Validate() != nil {
+			return false
+		}
+		// Load · m ≥ n and dilation ≤ host diameter.
+		if e.Load()*host.N() < n {
+			return false
+		}
+		return e.Dilation() <= host.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuestBFSOrderCoversAll(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(3, 4) // second component
+	g := b.Build()
+	order := guestBFSOrder(g)
+	if len(order) != 5 {
+		t.Errorf("order %v misses vertices", order)
+	}
+	seen := make(map[int]bool)
+	for _, v := range order {
+		if seen[v] {
+			t.Errorf("vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+}

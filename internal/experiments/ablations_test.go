@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE11Embeddings(t *testing.T) {
+	rows, err := E11Embeddings(64, 4, 41) // butterfly m=64, mesh n=64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	var meshGreedy, meshRandom *E11Row
+	for i := range rows {
+		if rows[i].Guest == "mesh" && rows[i].Strategy == "greedy" {
+			meshGreedy = &rows[i]
+		}
+		if rows[i].Guest == "mesh" && rows[i].Strategy == "random" {
+			meshRandom = &rows[i]
+		}
+	}
+	if meshGreedy == nil || meshRandom == nil {
+		t.Fatal("mesh rows missing")
+	}
+	// Locality helps the mesh: greedy dilation must not exceed random.
+	if meshGreedy.Dilation > meshRandom.Dilation {
+		t.Errorf("greedy dilation %d above random %d", meshGreedy.Dilation, meshRandom.Dilation)
+	}
+	for _, r := range rows {
+		if r.Load < 1 || r.Dilation < 1 || r.Congestion < 1 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.StaticLB < r.Load || r.StaticLB < r.Dilation {
+			t.Errorf("static lower bound inconsistent: %+v", r)
+		}
+	}
+	if E11Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE12RouterAblation(t *testing.T) {
+	rows, err := E12RouterAblation(128, 4, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var multi, single float64
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("router %s produced a wrong trace", r.Router)
+		}
+		if r.Slowdown <= 0 {
+			t.Errorf("router %s slowdown %f", r.Router, r.Slowdown)
+		}
+		switch r.Router {
+		case "greedy(min-index)":
+			multi = r.Slowdown
+		case "greedy(single-port)":
+			single = r.Slowdown
+		}
+	}
+	if single < multi {
+		t.Errorf("single-port faster than multi-port: %f vs %f", single, multi)
+	}
+	if E12Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE13AssignmentAblation(t *testing.T) {
+	rows, err := E13AssignmentAblation(64, 3, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var torusGreedy, torusShuffled *E13Row
+	for i := range rows {
+		if !rows[i].Verified {
+			t.Errorf("row %+v not verified", rows[i])
+		}
+		if rows[i].Guest == "torus" {
+			switch rows[i].Assignment {
+			case "greedy-locality":
+				torusGreedy = &rows[i]
+			case "shuffled":
+				torusShuffled = &rows[i]
+			}
+		}
+	}
+	if torusGreedy == nil || torusShuffled == nil {
+		t.Fatal("torus rows missing")
+	}
+	// Locality-aware placement of a torus guest on a torus host must not
+	// route more than a shuffled placement.
+	if torusGreedy.RouteSteps > torusShuffled.RouteSteps {
+		t.Errorf("greedy placement routes more than shuffled: %d vs %d",
+			torusGreedy.RouteSteps, torusShuffled.RouteSteps)
+	}
+	if E13Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE14ObliviousComplete(t *testing.T) {
+	rows, err := E14ObliviousComplete(256, 3, []int{3, 4, 5}, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Ratio <= 0 {
+			t.Errorf("bad ratio: %+v", r)
+		}
+		if i > 0 && r.MeasuredS >= rows[i-1].MeasuredS {
+			t.Errorf("slowdown not decreasing with m: %+v then %+v", rows[i-1], r)
+		}
+	}
+	if E14Table(256, rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE15BuilderAblation(t *testing.T) {
+	rows, err := E15BuilderAblation(59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PhasedK <= 0 || r.PipelinedK <= 0 || r.MulticastK <= 0 {
+			t.Errorf("bad inefficiencies: %+v", r)
+		}
+		if r.Ratio < 0.7 || r.Ratio > 1.3 {
+			t.Errorf("ratio %f outside the documented band: %+v", r.Ratio, r)
+		}
+		// Multicast never does worse than unicast phase-based scheduling.
+		if r.MultiRatio > 1.0+1e-9 {
+			t.Errorf("multicast slower than phase-based: %+v", r)
+		}
+	}
+	if E15Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE16Redundancy(t *testing.T) {
+	rows, err := E16Redundancy(48, 3, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigR1, bigRmax, smallR1, smallRmax *E16Row
+	for i := range rows {
+		r := &rows[i]
+		if !r.Verified {
+			t.Errorf("row %+v not verified", r)
+		}
+		if r.Regime == "m>n" {
+			if r.R == 1 {
+				bigR1 = r
+			}
+			if bigRmax == nil || r.R > bigRmax.R {
+				bigRmax = r
+			}
+		} else {
+			if r.R == 1 {
+				smallR1 = r
+			}
+			if smallRmax == nil || r.R > smallRmax.R {
+				smallRmax = r
+			}
+		}
+	}
+	if bigR1 == nil || bigRmax == nil || smallR1 == nil || smallRmax == nil {
+		t.Fatal("rows missing")
+	}
+	// m > n: replication shrinks fetch distances.
+	if bigRmax.AvgFetchDist >= bigR1.AvgFetchDist {
+		t.Errorf("m>n: fetch distance did not shrink: r=1 %.2f vs r=%d %.2f",
+			bigR1.AvgFetchDist, bigRmax.R, bigRmax.AvgFetchDist)
+	}
+	// m ≤ n: replication does not improve the slowdown.
+	if smallRmax.Slowdown < smallR1.Slowdown {
+		t.Errorf("m≤n: replication improved slowdown (%.1f < %.1f) — contradicts tightness",
+			smallRmax.Slowdown, smallR1.Slowdown)
+	}
+	if E16Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE17Baselines(t *testing.T) {
+	rows, err := E17Baselines(256, 3, 67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var torusRow, expRow *E17Row
+	for i := range rows {
+		r := &rows[i]
+		if r.MeasuredS < r.LoadBound {
+			t.Errorf("%s: measured %f below the load bound %f", r.Host, r.MeasuredS, r.LoadBound)
+		}
+		if r.BisectUB_M <= 0 {
+			t.Errorf("%s: degenerate host cut %d", r.Host, r.BisectUB_M)
+		}
+		if strings.HasPrefix(r.Host, "torus") {
+			torusRow = r
+		}
+		if strings.HasPrefix(r.Host, "expander") {
+			expRow = r
+		}
+	}
+	if torusRow == nil || expRow == nil {
+		t.Fatal("hosts missing")
+	}
+	// The paper's point: bisection-style arguments separate meshes (bound
+	// above load) but collapse on expander hosts (bound near load), while
+	// the counting bound exceeds the load bound everywhere.
+	if torusRow.BisectSEst <= torusRow.LoadBound {
+		t.Errorf("torus bisection estimate %f does not beat load %f", torusRow.BisectSEst, torusRow.LoadBound)
+	}
+	if expRow.BisectSEst >= torusRow.BisectSEst {
+		t.Errorf("bisection argument not weaker on the expander host: %f vs torus %f",
+			expRow.BisectSEst, torusRow.BisectSEst)
+	}
+	// The counting bound never drops below load and — unlike the bisection
+	// argument — is identical across host topologies of equal size: it
+	// applies to expander hosts with full force (the paper's whole point).
+	for _, r := range rows {
+		if r.CountingS < r.LoadBound {
+			t.Errorf("%s: counting bound %f below load %f", r.Host, r.CountingS, r.LoadBound)
+		}
+		if r.CountingS != rows[0].CountingS {
+			t.Errorf("counting bound host-dependent: %f vs %f", r.CountingS, rows[0].CountingS)
+		}
+	}
+	if E17Table(256, rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE18OfflineTheorem21(t *testing.T) {
+	rows, err := E18OfflineTheorem21(128, 3, []int{3, 4, 5}, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerStep < 2*r.D {
+			t.Errorf("d=%d: per-step %d below one traversal", r.D, r.PerStep)
+		}
+		if r.RoundsUsed < 1 {
+			t.Errorf("d=%d: no rounds", r.D)
+		}
+		if r.OfflineS < 1 || r.OnlineS < 1 {
+			t.Errorf("degenerate slowdowns: %+v", r)
+		}
+	}
+	if E18Table(128, rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE19RouteScaling(t *testing.T) {
+	rows, err := E19RouteScaling([]int{1, 2, 4}, 2, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byTopo := map[string][]E19Row{}
+	for _, r := range rows {
+		byTopo[r.Topology] = append(byTopo[r.Topology], r)
+		if r.Steps < 1 {
+			t.Errorf("degenerate: %+v", r)
+		}
+	}
+	// Monotone in h per topology.
+	for topo, rs := range byTopo {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Steps < rs[i-1].Steps {
+				t.Errorf("%s: route_G not monotone in h: %+v", topo, rs)
+			}
+		}
+	}
+	// The ring pays its Θ(m) diameter: slower than the butterfly at h=4.
+	ring4, bf4 := 0, 0
+	for _, r := range rows {
+		if r.H == 4 && r.Topology == "ring" {
+			ring4 = r.Steps
+		}
+		if r.H == 4 && r.Topology == "butterfly" {
+			bf4 = r.Steps
+		}
+	}
+	if ring4 <= bf4 {
+		t.Errorf("ring (%d) not slower than butterfly (%d) at h=4", ring4, bf4)
+	}
+	if E19Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE20Multibutterfly(t *testing.T) {
+	rows, err := E20Multibutterfly(4, 3, 79)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	find := func(g, h string) *E20Row {
+		for i := range rows {
+			if rows[i].Guest == g && rows[i].HostName == h {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("unverified: %+v", r)
+		}
+	}
+	mbOnBF := find("multibutterfly", "butterfly")
+	bfOnMB := find("butterfly", "multibutterfly")
+	if mbOnBF == nil || bfOnMB == nil {
+		t.Fatal("cross rows missing")
+	}
+	// The [17] asymmetry: hosting the multibutterfly on the butterfly costs
+	// at least as much as the reverse direction.
+	if mbOnBF.Slowdown < bfOnMB.Slowdown {
+		t.Errorf("asymmetry inverted: MB-on-BF %.1f < BF-on-MB %.1f",
+			mbOnBF.Slowdown, bfOnMB.Slowdown)
+	}
+	if E20Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE21MinimizerAblation(t *testing.T) {
+	rows, err := E21MinimizerAblation(83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KAfter > r.KBefore+1e-9 {
+			t.Errorf("%s: minimization worsened k: %.2f → %.2f", r.Builder, r.KBefore, r.KAfter)
+		}
+		if r.OpsDropped < 0 {
+			t.Errorf("%s: negative drop count", r.Builder)
+		}
+	}
+	if E21Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestE22Spreading(t *testing.T) {
+	rows, err := E22Spreading(6, 89)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := map[string]float64{}
+	for _, r := range rows {
+		exps[r.Topology] = r.Exponent
+		// Balls are monotone and bounded by n.
+		for i := 1; i < len(r.Balls); i++ {
+			if r.Balls[i] < r.Balls[i-1] || r.Balls[i] > r.N {
+				t.Errorf("%s: ball sequence invalid: %v", r.Topology, r.Balls)
+			}
+		}
+	}
+	// The classification: ring ≈ t¹, torus ≈ t², 3d torus ≈ t³ (below
+	// saturation), expander ≫ polynomial of low degree.
+	if !(exps["ring"] < 1.5) {
+		t.Errorf("ring exponent %f not ≈ 1", exps["ring"])
+	}
+	if !(exps["torus"] > 1.5 && exps["torus"] < 2.5) {
+		t.Errorf("torus exponent %f not ≈ 2", exps["torus"])
+	}
+	if exps["expander"] <= exps["torus3d"] {
+		t.Errorf("expander exponent %f not above torus3d %f", exps["expander"], exps["torus3d"])
+	}
+	if E22Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"universalnet/internal/core"
+	"universalnet/internal/expander"
+	"universalnet/internal/graph"
+	"universalnet/internal/routing"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+	"universalnet/internal/universal"
+)
+
+// ---------------------------------------------------------------------------
+// E17 — the paper's motivating claim (§1, "Previous Work"): the
+// congestion/diameter/bandwidth techniques of [9,10] give non-trivial
+// slowdown lower bounds for meshes but are "not strong enough" for
+// expander-like hosts — no bound beyond the load n/m. The counting argument
+// (Theorem 3.1) is the only one that yields Ω((n/m)·log m) for EVERY host.
+//
+// We compute, per host, the three baseline bounds and compare them with the
+// counting bound and the measured slowdown:
+//   load bound        s ≥ ⌈n/m⌉                    (processors)
+//   bandwidth bound   s ≥ |E_G| / |E_M|             (total link capacity)
+//   bisection bound   s ≥ bisect(G) / bisect(M)     ([9]-style: any balanced
+//                     split of the host splits the guests; the guest's cut
+//                     must cross the host's bisection every guest step)
+
+// E17Row is one host's comparison.
+type E17Row struct {
+	Host       string
+	M          int
+	LoadBound  float64
+	BandBound  float64
+	BisectLB_G float64 // spectral (provable) lower bound on the guest's bisection
+	BisectEstG int     // explicit-cut estimate of the guest's bisection
+	BisectUB_M int     // explicit cut upper bound on the host's bisection
+	BisectS    float64 // provable bisection slowdown bound (LB_G / UB_M)
+	BisectSEst float64 // estimated bisection slowdown (EstG / UB_M)
+	CountingS  float64 // Theorem 3.1 (toy constants) slowdown bound
+	MeasuredS  float64
+}
+
+// E17Baselines runs the comparison for an expander guest over mesh-like,
+// butterfly and expander hosts of (roughly) equal size.
+func E17Baselines(n, T int, seed int64) ([]E17Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	guest, err := topology.RandomGuest(rng, n, 4)
+	if err != nil {
+		return nil, err
+	}
+	lamG, err := expander.SpectralGap(guest, 400, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Provable lower bound (Cheeger) and realistic estimate (explicit cut)
+	// of the guest's bisection width.
+	bisectG := expander.SpectralBisectionLowerBound(guest, lamG)
+	bisectGEst, err := expander.BestBalancedCutUpperBound(guest, 400, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	comp := sim.MixMod(guest, rng)
+	direct, err := comp.Run(T)
+	if err != nil {
+		return nil, err
+	}
+	toy := core.ToyParams()
+
+	hosts := make([]*universal.Host, 0, 3)
+	if h, err := universal.TorusHost(64); err == nil {
+		hosts = append(hosts, h)
+	}
+	if h, err := universal.ButterflyHost(4); err == nil {
+		hosts = append(hosts, h)
+	}
+	if h, err := universal.ExpanderHost(64, 4, seed+2); err == nil {
+		hosts = append(hosts, h)
+	}
+	var rows []E17Row
+	for _, host := range hosts {
+		m := host.Graph.N()
+		cutM, err := expander.BestBalancedCutUpperBound(host.Graph, 400, seed+3)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := (&universal.EmbeddingSimulator{Host: host}).Run(comp, T)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Trace.Checksum() != direct.Checksum() {
+			return nil, fmt.Errorf("experiments: E17 diverged on %s", host.Name)
+		}
+		k, err := toy.MinInefficiency(n, m)
+		if err != nil {
+			return nil, err
+		}
+		countingS := k * float64(n) / float64(m)
+		if countingS < 1 {
+			countingS = 1
+		}
+		rows = append(rows, E17Row{
+			Host:       host.Name,
+			M:          m,
+			LoadBound:  math.Ceil(float64(n) / float64(m)),
+			BandBound:  float64(guest.M()) / float64(host.Graph.M()),
+			BisectLB_G: bisectG,
+			BisectEstG: bisectGEst,
+			BisectUB_M: cutM,
+			BisectS:    bisectG / float64(cutM),
+			BisectSEst: float64(bisectGEst) / float64(cutM),
+			CountingS:  countingS,
+			MeasuredS:  rep.Slowdown,
+		})
+	}
+	return rows, nil
+}
+
+// E17Table formats E17 rows.
+func E17Table(n int, rows []E17Row) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("E17 (§1 previous work): baseline slowdown bounds vs the counting bound, expander guest n=%d", n),
+		Columns: []string{"host", "m", "load", "bandwidth", "bisection (provable)", "bisection (est)", "counting (toy)", "measured s"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Host, fmt.Sprint(r.M),
+			fmt.Sprintf("%.0f", r.LoadBound), fmt.Sprintf("%.1f", r.BandBound),
+			fmt.Sprintf("%.1f/%d = %.2f", r.BisectLB_G, r.BisectUB_M, r.BisectS),
+			fmt.Sprintf("%d/%d = %.2f", r.BisectEstG, r.BisectUB_M, r.BisectSEst),
+			fmt.Sprintf("%.1f", r.CountingS), fmt.Sprintf("%.1f", r.MeasuredS),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E18 — Theorem 2.1, the proof's own construction: offline deterministic
+// routing on the wrapped Beneš host ("O(n/m) permutations … known in
+// advance … off-line in O(log m)") vs the online greedy butterfly of E1.
+
+// E18Row is one size point.
+type E18Row struct {
+	D          int
+	Rows       int
+	N          int
+	Load       int
+	OfflineS   float64 // Beneš host, deterministic offline routing
+	OnlineS    float64 // butterfly host, online greedy (same d)
+	PerStep    int     // offline routing steps per guest step (constant)
+	RoundsUsed int
+}
+
+// E18OfflineTheorem21 sweeps Beneš dimensions, running the same guest with
+// the offline host and the online butterfly, both trace-verified.
+func E18OfflineTheorem21(n, T int, dims []int, seed int64) ([]E18Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	guest, err := topology.RandomGuest(rng, n, 4)
+	if err != nil {
+		return nil, err
+	}
+	comp := sim.MixMod(guest, rng)
+	direct, err := comp.Run(T)
+	if err != nil {
+		return nil, err
+	}
+	var rows []E18Row
+	for _, d := range dims {
+		bh, err := universal.NewBenesHost(d)
+		if err != nil {
+			return nil, err
+		}
+		if n < bh.Rows {
+			continue
+		}
+		off, err := (&universal.EmbeddingSimulator{Host: &bh.Host, F: bh.Assignment(n)}).Run(comp, T)
+		if err != nil {
+			return nil, err
+		}
+		if off.Trace.Checksum() != direct.Checksum() {
+			return nil, fmt.Errorf("experiments: E18 offline diverged at d=%d", d)
+		}
+		onHost, err := universal.ButterflyHost(d)
+		if err != nil {
+			return nil, err
+		}
+		on, err := (&universal.EmbeddingSimulator{Host: onHost}).Run(comp, T)
+		if err != nil {
+			return nil, err
+		}
+		if on.Trace.Checksum() != direct.Checksum() {
+			return nil, fmt.Errorf("experiments: E18 online diverged at d=%d", d)
+		}
+		perStep := off.RouteSteps / T
+		rows = append(rows, E18Row{
+			D: d, Rows: bh.Rows, N: n,
+			Load:       (n + bh.Rows - 1) / bh.Rows,
+			OfflineS:   off.Slowdown,
+			OnlineS:    on.Slowdown,
+			PerStep:    perStep,
+			RoundsUsed: perStep + 1 - 2*d, // pipelined: steps = rounds−1+2d
+		})
+	}
+	return rows, nil
+}
+
+// E18Table formats E18 rows.
+func E18Table(n int, rows []E18Row) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("E18 (Thm 2.1 proof): offline Beneš host vs online butterfly, n=%d", n),
+		Columns: []string{"d", "rows", "load", "s offline (Beneš)", "rounds−1+2d/step", "s online (butterfly)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.D), fmt.Sprint(r.Rows), fmt.Sprint(r.Load),
+			fmt.Sprintf("%.1f", r.OfflineS),
+			fmt.Sprintf("%d−1+%d=%d", r.RoundsUsed, 2*r.D, r.PerStep),
+			fmt.Sprintf("%.1f", r.OnlineS),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E19 — §2: route_G(h), the quantity Theorem 2.1's slowdown is made of.
+// Measured per topology as h grows: butterflies and expanders pay
+// O(h + log m); tori pay O(h·√m / const + √m); rings pay Θ(h·m).
+
+// E19Row is one (topology, h) measurement.
+type E19Row struct {
+	Topology string
+	M        int
+	H        int
+	Steps    int
+	PerH     float64 // steps / h — the marginal cost per unit of load
+}
+
+// E19RouteScaling measures route_G(h) for the standard hosts.
+func E19RouteScaling(hs []int, trials int, seed int64) ([]E19Row, error) {
+	type hostSpec struct {
+		name string
+		g    *graph.Graph
+	}
+	var specs []hostSpec
+	if g, err := topology.Torus(64); err == nil {
+		specs = append(specs, hostSpec{"torus", g})
+	}
+	if g, err := topology.WrappedButterfly(4); err == nil {
+		specs = append(specs, hostSpec{"butterfly", g})
+	}
+	if g, err := topology.RandomRegular(rand.New(rand.NewSource(seed)), 64, 4); err == nil && g.IsConnected() {
+		specs = append(specs, hostSpec{"expander", g})
+	}
+	if g, err := topology.Ring(64); err == nil {
+		specs = append(specs, hostSpec{"ring", g})
+	}
+	var rows []E19Row
+	for _, spec := range specs {
+		for _, h := range hs {
+			res, err := routing.MeasureRoute(spec.g, &routing.GreedyRouter{Mode: routing.MultiPort, Seed: seed}, h, trials, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E19 %s h=%d: %w", spec.name, h, err)
+			}
+			rows = append(rows, E19Row{
+				Topology: spec.name, M: spec.g.N(), H: h,
+				Steps: res.Steps, PerH: float64(res.Steps) / float64(h),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// E19Table formats E19 rows.
+func E19Table(rows []E19Row) *Table {
+	t := &Table{
+		Title:   "E19 (§2): route_G(h) across topologies — the slowdown's raw material",
+		Columns: []string{"topology", "m", "h", "route_G(h) steps", "steps/h"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Topology, fmt.Sprint(r.M), fmt.Sprint(r.H),
+			fmt.Sprint(r.Steps), fmt.Sprintf("%.1f", r.PerH),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E20 — related work [17] (Rappoport): simulation asymmetry between the
+// multibutterfly and the butterfly. The multibutterfly's splitter expansion
+// makes it a strictly stronger router; a butterfly host pays more to host a
+// multibutterfly guest than vice versa (the [17] separation, measured here
+// at equal sizes through the Theorem 2.1 simulation).
+
+// E20Row is one direction of the asymmetry measurement.
+type E20Row struct {
+	Guest    string
+	HostName string
+	Slowdown float64
+	Verified bool
+}
+
+// E20Multibutterfly measures both directions of the [17] asymmetry, plus
+// the two self-simulations as controls.
+func E20Multibutterfly(d, T int, seed int64) ([]E20Row, error) {
+	bfGraph, err := topology.Butterfly(d)
+	if err != nil {
+		return nil, err
+	}
+	mbGraph, err := topology.Multibutterfly(d, 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	hosts := map[string]*universal.Host{
+		"butterfly":      {Name: "butterfly", Graph: bfGraph, Router: &routing.GreedyRouter{Mode: routing.MultiPort, Policy: routing.RandomNextHop, Seed: seed}},
+		"multibutterfly": {Name: "multibutterfly", Graph: mbGraph, Router: &routing.GreedyRouter{Mode: routing.MultiPort, Policy: routing.RandomNextHop, Seed: seed}},
+	}
+	guests := map[string]*graph.Graph{
+		"butterfly":      bfGraph,
+		"multibutterfly": mbGraph,
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	var rows []E20Row
+	for _, gname := range []string{"butterfly", "multibutterfly"} {
+		comp := sim.MixMod(guests[gname], rng)
+		direct, err := comp.Run(T)
+		if err != nil {
+			return nil, err
+		}
+		for _, hname := range []string{"butterfly", "multibutterfly"} {
+			rep, err := (&universal.EmbeddingSimulator{Host: hosts[hname]}).Run(comp, T)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E20 %s on %s: %w", gname, hname, err)
+			}
+			rows = append(rows, E20Row{
+				Guest:    gname,
+				HostName: hname,
+				Slowdown: rep.Slowdown,
+				Verified: rep.Trace.Checksum() == direct.Checksum(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// E20Table formats E20 rows.
+func E20Table(rows []E20Row) *Table {
+	t := &Table{
+		Title:   "E20 ([17]): butterfly ↔ multibutterfly simulation asymmetry (equal sizes, Theorem 2.1 simulation)",
+		Columns: []string{"guest", "host", "slowdown", "verified"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Guest, r.HostName, fmt.Sprintf("%.1f", r.Slowdown), fmt.Sprint(r.Verified)})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E22 — the [15] remark: guests with POLYNOMIAL spreading (|ball_t(v)| ≤
+// poly(t)) admit O(n·polylog n)-size constant-slowdown universal networks.
+// The classifying property is measurable: fit the growth exponent of the
+// largest t-neighborhood. Meshes/tori spread like t²; constant-degree
+// expanders spread exponentially — exactly the separation the remark needs.
+// ([15]'s construction itself belongs to that paper; we reproduce the
+// classification that gates it — documented substitution.)
+
+// E22Row is one topology's spreading profile.
+type E22Row struct {
+	Topology string
+	N        int
+	Balls    []int   // max_v |ball_t(v)| for t = 1..len(Balls)
+	Exponent float64 // log-log slope fit of ball growth over t = 2..tmax
+}
+
+// E22Spreading measures spreading profiles.
+func E22Spreading(tmax int, seed int64) ([]E22Row, error) {
+	type spec struct {
+		name string
+		g    *graph.Graph
+	}
+	var specs []spec
+	if g, err := topology.Torus(225); err == nil {
+		specs = append(specs, spec{"torus", g})
+	}
+	if g, err := topology.Torus3D(6); err == nil {
+		specs = append(specs, spec{"torus3d", g})
+	}
+	if g, err := topology.RandomRegular(rand.New(rand.NewSource(seed)), 216, 4); err == nil && g.IsConnected() {
+		specs = append(specs, spec{"expander", g})
+	}
+	if g, err := topology.Ring(216); err == nil {
+		specs = append(specs, spec{"ring", g})
+	}
+	var rows []E22Row
+	for _, sp := range specs {
+		balls := make([]int, tmax)
+		for t := 1; t <= tmax; t++ {
+			max := 0
+			for v := 0; v < sp.g.N(); v++ {
+				if b := sp.g.TNeighborhoodSize(v, t); b > max {
+					max = b
+				}
+			}
+			balls[t-1] = max
+		}
+		// Log-log least-squares slope over t = 2..tmax (skip t=1 noise).
+		var sx, sy, sxx, sxy float64
+		cnt := 0.0
+		for t := 2; t <= tmax; t++ {
+			x := math.Log(float64(t))
+			y := math.Log(float64(balls[t-1]))
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			cnt++
+		}
+		slope := (cnt*sxy - sx*sy) / (cnt*sxx - sx*sx)
+		rows = append(rows, E22Row{Topology: sp.name, N: sp.g.N(), Balls: balls, Exponent: slope})
+	}
+	return rows, nil
+}
+
+// E22Table formats E22 rows.
+func E22Table(rows []E22Row) *Table {
+	t := &Table{
+		Title:   "E22 ([15] remark): spreading profiles — max |ball_t| and its growth exponent",
+		Columns: []string{"topology", "n", "|ball_1|", "|ball_3|", "|ball_6|", "growth exponent"},
+	}
+	for _, r := range rows {
+		pick := func(i int) string {
+			if i-1 < len(r.Balls) {
+				return fmt.Sprint(r.Balls[i-1])
+			}
+			return "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Topology, fmt.Sprint(r.N), pick(1), pick(3), pick(6),
+			fmt.Sprintf("%.2f", r.Exponent),
+		})
+	}
+	return t
+}

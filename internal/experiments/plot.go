@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ASCII line plots for the experiment series — the "figures" of
+// EXPERIMENTS.md. Multiple series share axes; points are marked with the
+// series' rune and collisions show the later series.
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot renders series into a width×height character grid with simple
+// axes and a legend. X and Y ranges are the unions over all series;
+// logX/logY switch the corresponding axis to log₂ scale.
+type Plot struct {
+	Title         string
+	Width, Height int
+	LogX, LogY    bool
+	Series        []Series
+}
+
+// Render draws the plot. It returns an error for empty/invalid input.
+func (p *Plot) Render() (string, error) {
+	w, h := p.Width, p.Height
+	if w < 16 || h < 4 {
+		return "", fmt.Errorf("experiments: plot area %dx%d too small", w, h)
+	}
+	if len(p.Series) == 0 {
+		return "", fmt.Errorf("experiments: no series")
+	}
+	tx := func(v float64) (float64, error) {
+		if p.LogX {
+			if v <= 0 {
+				return 0, fmt.Errorf("experiments: log-x axis needs positive x, got %g", v)
+			}
+			return math.Log2(v), nil
+		}
+		return v, nil
+	}
+	ty := func(v float64) (float64, error) {
+		if p.LogY {
+			if v <= 0 {
+				return 0, fmt.Errorf("experiments: log-y axis needs positive y, got %g", v)
+			}
+			return math.Log2(v), nil
+		}
+		return v, nil
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return "", fmt.Errorf("experiments: series %q has mismatched or empty data", s.Name)
+		}
+		for i := range s.X {
+			x, err := tx(s.X[i])
+			if err != nil {
+				return "", err
+			}
+			y, err := ty(s.Y[i])
+			if err != nil {
+				return "", err
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		type pt struct{ cx, cy int }
+		var pts []pt
+		for i := range s.X {
+			x, _ := tx(s.X[i])
+			y, _ := ty(s.Y[i])
+			cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			cy := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+			pts = append(pts, pt{cx, cy})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].cx < pts[b].cx })
+		// Connect consecutive points with linear interpolation.
+		for i := range pts {
+			grid[pts[i].cy][pts[i].cx] = marker
+			if i+1 < len(pts) {
+				dx := pts[i+1].cx - pts[i].cx
+				for step := 1; step < dx; step++ {
+					frac := float64(step) / float64(dx)
+					cy := int(math.Round(float64(pts[i].cy) + frac*float64(pts[i+1].cy-pts[i].cy)))
+					cx := pts[i].cx + step
+					if grid[cy][cx] == ' ' {
+						grid[cy][cx] = '·'
+					}
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yLabel := func(v float64) string {
+		if p.LogY {
+			return fmt.Sprintf("2^%-5.1f", v)
+		}
+		return fmt.Sprintf("%-7.1f", v)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", 8)
+		switch r {
+		case 0:
+			label = yLabel(maxY)
+		case h - 1:
+			label = yLabel(minY)
+		}
+		fmt.Fprintf(&b, "%8s│%s\n", strings.TrimRight(label, " "), string(row))
+	}
+	fmt.Fprintf(&b, "%8s└%s\n", "", strings.Repeat("─", w))
+	xl, xr := minX, maxX
+	xlab := func(v float64) string {
+		if p.LogX {
+			return fmt.Sprintf("2^%.0f", v)
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	fmt.Fprintf(&b, "%9s%-*s%s\n", "", w-len(xlab(xr)), xlab(xl), xlab(xr))
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "%9s%c %s\n", "", marker, s.Name)
+	}
+	return b.String(), nil
+}
+
+// PlotE1 renders the E1 sweep as a log–log figure: measured slowdown and
+// the (n/m)·log m prediction vs host size.
+func PlotE1(n int, rows []E1Row) (string, error) {
+	var xs, meas, pred []float64
+	for _, r := range rows {
+		xs = append(xs, float64(r.M))
+		meas = append(meas, r.MeasuredS)
+		pred = append(pred, r.PredictS)
+	}
+	p := &Plot{
+		Title: fmt.Sprintf("Figure E1: slowdown vs host size m (n=%d, log–log)", n),
+		Width: 56, Height: 12, LogX: true, LogY: true,
+		Series: []Series{
+			{Name: "measured slowdown", Marker: 'o', X: xs, Y: meas},
+			{Name: "(n/m)·log2 m", Marker: '+', X: xs, Y: pred},
+		},
+	}
+	return p.Render()
+}
+
+// PlotE2 renders the lower-bound curve k(log₂ m) for both constant sets.
+func PlotE2(rows []E2Row) (string, error) {
+	var xs, paper, toy []float64
+	for _, r := range rows {
+		xs = append(xs, r.Log2M)
+		paper = append(paper, r.PaperK)
+		toy = append(toy, r.ToyK)
+	}
+	p := &Plot{
+		Title: "Figure E2: Theorem 3.1 lower bound k vs log2 m (log–log)",
+		Width: 56, Height: 12, LogX: true, LogY: true,
+		Series: []Series{
+			{Name: "k (paper constants)", Marker: 'o', X: xs, Y: paper},
+			{Name: "k (toy constants)", Marker: '+', X: xs, Y: toy},
+		},
+	}
+	return p.Render()
+}
+
+// PlotE19 renders route_G(h) per topology — the §2 routing figure.
+func PlotE19(rows []E19Row) (string, error) {
+	byTopo := map[string][][2]float64{}
+	order := []string{}
+	for _, r := range rows {
+		if _, ok := byTopo[r.Topology]; !ok {
+			order = append(order, r.Topology)
+		}
+		byTopo[r.Topology] = append(byTopo[r.Topology], [2]float64{float64(r.H), float64(r.Steps)})
+	}
+	markers := []rune{'o', '+', 'x', '#', '@'}
+	p := &Plot{
+		Title: "Figure E19: route_G(h) per topology (log y)",
+		Width: 56, Height: 12, LogY: true,
+	}
+	for i, name := range order {
+		var xs, ys []float64
+		for _, pt := range byTopo[name] {
+			xs = append(xs, pt[0])
+			ys = append(ys, pt[1])
+		}
+		p.Series = append(p.Series, Series{Name: name, Marker: markers[i%len(markers)], X: xs, Y: ys})
+	}
+	return p.Render()
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the wire format: vertex count + canonical edge list.
+type jsonGraph struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// WriteJSON serializes the graph as {"n": ..., "edges": [[u,v], ...]}.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{N: g.N()}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, [2]int{e.U, e.V})
+	}
+	return json.NewEncoder(w).Encode(&jg)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON, validating edges.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if jg.N < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", jg.N)
+	}
+	b := NewBuilder(jg.N)
+	for _, e := range jg.Edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

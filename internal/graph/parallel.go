@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel helpers for the O(n·m) whole-graph scans (diameter, eccentricity
+// profiles). Sources are sharded over worker goroutines; results are
+// deterministic because each worker writes only its own slice entries.
+
+// Eccentricities returns the eccentricity of every vertex, computed with up
+// to `workers` goroutines (0 ⇒ GOMAXPROCS). The second return reports
+// whether the graph is connected; when it is not, entries reachable only
+// partially are still the max over reachable vertices.
+func (g *Graph) Eccentricities(workers int) ([]int, bool) {
+	n := g.N()
+	ecc := make([]int, n)
+	connected := make([]bool, n)
+	if n == 0 {
+		return ecc, true
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for v := 0; v < n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				e, conn := g.Eccentricity(v)
+				ecc[v] = e
+				connected[v] = conn
+			}
+		}()
+	}
+	wg.Wait()
+	allConn := true
+	for _, c := range connected {
+		if !c {
+			allConn = false
+			break
+		}
+	}
+	return ecc, allConn
+}
+
+// DiameterParallel computes the exact diameter with parallel BFS sweeps.
+// Semantics match Diameter: −1 for disconnected or empty graphs.
+func (g *Graph) DiameterParallel(workers int) int {
+	if g.N() == 0 {
+		return -1
+	}
+	ecc, conn := g.Eccentricities(workers)
+	if !conn {
+		return -1
+	}
+	max := 0
+	for _, e := range ecc {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Radius returns the minimum eccentricity (the center's eccentricity), or
+// −1 for disconnected/empty graphs. Parallel like DiameterParallel.
+func (g *Graph) Radius(workers int) int {
+	if g.N() == 0 {
+		return -1
+	}
+	ecc, conn := g.Eccentricities(workers)
+	if !conn {
+		return -1
+	}
+	min := ecc[0]
+	for _, e := range ecc[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}

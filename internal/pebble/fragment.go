@@ -1,0 +1,258 @@
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"universalnet/internal/depgraph"
+	"universalnet/internal/topology"
+)
+
+// Fragment is the triple (ℬ, ℬ', 𝒟) of Definition 3.2, extracted from a
+// protocol at a critical time step t₀:
+//   - B[i]  = Q_S(i, t₀), the representatives of P_i,
+//   - BP[i] = b_i ∈ Q'_S(i, t₀), one chosen generator,
+//   - D[i]  = {i' : b_i ∈ B[i']}, the guests co-located with the generator.
+type Fragment struct {
+	T0 int
+	B  [][]int
+	BP []int
+	D  [][]int
+}
+
+// ExtractFragment builds the fragment of a state at guest time t₀, choosing
+// for each i the generator given by pick (nil ⇒ first generator). It errors
+// if some P_i has no generator for step t₀+1, which cannot happen in a valid
+// protocol with t₀ < T.
+func (st *State) ExtractFragment(t0 int, pick func(i int, gens []int) int) (*Fragment, error) {
+	n := st.guest.N()
+	if t0 < 0 || t0 >= st.T {
+		return nil, fmt.Errorf("pebble: t0=%d outside [0,%d)", t0, st.T)
+	}
+	f := &Fragment{T0: t0, B: make([][]int, n), BP: make([]int, n), D: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		f.B[i] = st.Representatives(i, t0)
+		gens := st.Generators(i, t0)
+		if len(gens) == 0 {
+			return nil, fmt.Errorf("pebble: no generator for (P%d,t%d)", i, t0+1)
+		}
+		choice := 0
+		if pick != nil {
+			choice = pick(i, gens)
+			if choice < 0 || choice >= len(gens) {
+				return nil, fmt.Errorf("pebble: pick returned %d of %d generators", choice, len(gens))
+			}
+		}
+		f.BP[i] = gens[choice]
+	}
+	for i := 0; i < n; i++ {
+		f.D[i] = st.GuestsOnProcessor(f.BP[i], t0)
+	}
+	return f, nil
+}
+
+// Validate checks the internal consistency conditions of Definition 3.2:
+// b_i ∈ B_i and D_i = {i' : b_i ∈ B_{i'}}.
+func (f *Fragment) Validate() error {
+	n := len(f.B)
+	if len(f.BP) != n || len(f.D) != n {
+		return fmt.Errorf("pebble: fragment length mismatch")
+	}
+	inB := func(i, q int) bool {
+		idx := sort.SearchInts(f.B[i], q)
+		return idx < len(f.B[i]) && f.B[i][idx] == q
+	}
+	for i := 0; i < n; i++ {
+		if !inB(i, f.BP[i]) {
+			return fmt.Errorf("pebble: b_%d = %d not in B_%d", i, f.BP[i], i)
+		}
+		want := make([]int, 0)
+		for ip := 0; ip < n; ip++ {
+			if inB(ip, f.BP[i]) {
+				want = append(want, ip)
+			}
+		}
+		if len(want) != len(f.D[i]) {
+			return fmt.Errorf("pebble: D_%d has %d entries, want %d", i, len(f.D[i]), len(want))
+		}
+		for k := range want {
+			if f.D[i][k] != want[k] {
+				return fmt.Errorf("pebble: D_%d mismatch at position %d", i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// SumB returns Σ_i |B_i| = Σ_i q_{i,t₀} (Main Lemma condition (2)).
+func (f *Fragment) SumB() int {
+	s := 0
+	for _, b := range f.B {
+		s += len(b)
+	}
+	return s
+}
+
+// SmallDCount returns the number of i with |D_i| ≤ bound (Main Lemma
+// condition (3) asks for ≥ γn of them with bound n/√m).
+func (f *Fragment) SmallDCount(bound float64) int {
+	c := 0
+	for _, d := range f.D {
+		if float64(len(d)) <= bound {
+			c++
+		}
+	}
+	return c
+}
+
+// TreeWeight returns w_{i,t} of Definition 3.11: the sum of pebble weights
+// q_{i',t'} over the nodes of a dependency tree.
+func (st *State) TreeWeight(tree *depgraph.Tree) int {
+	sum := 0
+	for _, nd := range tree.Nodes() {
+		sum += st.Weight(nd.P, nd.T)
+	}
+	return sum
+}
+
+// LemmaWeights holds the per-time-step aggregates used by Lemma 3.12.
+type LemmaWeights struct {
+	D         int   // dependency-tree depth D(p) (the paper's a)
+	TreeSize  int   // maximum tree size observed (the paper's 48a²)
+	SumQ      []int // SumQ[t]  = Σ_i q_{i,t}
+	SumW      []int // SumW[t]  = Σ_j Σ_{P_i ∈ 𝒯_j} w_{i,t}, for t ≥ D
+	TotalQ    int   // Σ_t Σ_i q_{i,t} over t = 1..T
+	TotalW    int   // Σ_{t≥D} SumW[t]
+	TreeCache map[depgraph.Node]*depgraph.Tree
+}
+
+// ComputeLemmaWeights evaluates the weight aggregates of Lemma 3.12 for a
+// protocol state over a guest containing g0. It builds one dependency tree
+// per (vertex, time) pair with t ≥ D; trees are cached by root node.
+func (st *State) ComputeLemmaWeights(g0 *topology.G0) (*LemmaWeights, error) {
+	p := g0.BlockSide
+	D := depgraph.TreeDepth(p)
+	if st.T < D+1 {
+		return nil, fmt.Errorf("pebble: horizon T=%d too short for tree depth %d", st.T, D)
+	}
+	lw := &LemmaWeights{
+		D:         D,
+		SumQ:      make([]int, st.T+1),
+		SumW:      make([]int, st.T+1),
+		TreeCache: make(map[depgraph.Node]*depgraph.Tree),
+	}
+	for t := 0; t <= st.T; t++ {
+		lw.SumQ[t] = st.TotalWeight(t)
+		if t >= 1 {
+			lw.TotalQ += lw.SumQ[t]
+		}
+	}
+	for t := D; t <= st.T; t++ {
+		for i := 0; i < g0.N; i++ {
+			tree, err := st.treeFor(g0, i, t, lw)
+			if err != nil {
+				return nil, err
+			}
+			w := st.TreeWeight(tree)
+			lw.SumW[t] += w
+		}
+		lw.TotalW += lw.SumW[t]
+	}
+	return lw, nil
+}
+
+func (st *State) treeFor(g0 *topology.G0, i, t int, lw *LemmaWeights) (*depgraph.Tree, error) {
+	root := depgraph.Node{P: i, T: t - lw.D}
+	if tr, ok := lw.TreeCache[root]; ok {
+		return tr, nil
+	}
+	tr, err := depgraph.BuildDependencyTree(g0, i, t)
+	if err != nil {
+		return nil, err
+	}
+	if s := tr.Size(); s > lw.TreeSize {
+		lw.TreeSize = s
+	}
+	lw.TreeCache[root] = tr
+	return tr, nil
+}
+
+// CriticalTimes returns the set Z_S of Lemma 3.12: the guest times
+// t ∈ [D+1, T] at which both per-step aggregates are at most 4/(T−D) times
+// their totals. The lemma guarantees |Z_S| ≥ (T−D)/2.
+func (lw *LemmaWeights) CriticalTimes(T int) []int {
+	var z []int
+	den := float64(T - lw.D)
+	if den <= 0 {
+		return nil
+	}
+	for t := lw.D + 1; t <= T; t++ {
+		okW := float64(lw.SumW[t]) <= 4*float64(lw.TotalW)/den
+		okQ := float64(lw.SumQ[t-lw.D]) <= 4*float64(lw.TotalQ)/den
+		if okW && okQ {
+			z = append(z, t)
+		}
+	}
+	return z
+}
+
+// ChooseRoots picks, for critical time t₀, one representative r_j per
+// partition torus 𝒯_j following the V'_j ∩ V”_j argument of Lemma 3.12:
+// exclude the quarter of block vertices with the largest tree weight w_{i,t₀}
+// and the quarter with the largest root weight q_{i,t₀−D}; return the
+// smallest-index survivor of each block.
+func (st *State) ChooseRoots(g0 *topology.G0, lw *LemmaWeights, t0 int) ([]int, error) {
+	if t0 < lw.D+1 || t0 > st.T {
+		return nil, fmt.Errorf("pebble: t0=%d outside [%d,%d]", t0, lw.D+1, st.T)
+	}
+	roots := make([]int, 0, len(g0.Blocks))
+	for bi := range g0.Blocks {
+		verts := g0.Blocks[bi].Vertices
+		sz := len(verts)
+		quarter := sz / 4
+		ws := make([]vertexWeight, sz)
+		qs := make([]vertexWeight, sz)
+		for k, v := range verts {
+			tree, err := st.treeFor(g0, v, t0, lw)
+			if err != nil {
+				return nil, err
+			}
+			ws[k] = vertexWeight{v: v, weight: st.TreeWeight(tree)}
+			qs[k] = vertexWeight{v: v, weight: st.Weight(v, t0-lw.D)}
+		}
+		heavyW := topQuarterSet(ws, quarter)
+		heavyQ := topQuarterSet(qs, quarter)
+		chosen := -1
+		for _, v := range verts {
+			if !heavyW[v] && !heavyQ[v] {
+				if chosen < 0 || v < chosen {
+					chosen = v
+				}
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("pebble: no root survives filtering in block %d", bi)
+		}
+		roots = append(roots, chosen)
+	}
+	return roots, nil
+}
+
+type vertexWeight struct{ v, weight int }
+
+// topQuarterSet returns the vertices with the `quarter` largest weights
+// (ties broken toward smaller vertex index staying light).
+func topQuarterSet(rows []vertexWeight, quarter int) map[int]bool {
+	sorted := append([]vertexWeight(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].weight != sorted[j].weight {
+			return sorted[i].weight > sorted[j].weight
+		}
+		return sorted[i].v > sorted[j].v
+	})
+	out := make(map[int]bool, quarter)
+	for i := 0; i < quarter && i < len(sorted); i++ {
+		out[sorted[i].v] = true
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package pebble
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzProtocolReadJSON(f *testing.F) {
+	f.Add(`{"guest":{"n":2,"edges":[[0,1]]},"host":{"n":2,"edges":[[0,1]]},"t":1,"steps":[[{"kind":"generate","proc":0,"p":0,"t":1}]]}`)
+	f.Add(`{"guest":{"n":1},"host":{"n":1},"t":0,"steps":[]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, data string) {
+		pr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded protocols may be illegal — Validate must reject, not panic.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Validate panicked: %v", r)
+				}
+			}()
+			_, _ = pr.Validate()
+		}()
+		// And re-encoding must succeed for anything we decoded.
+		var buf bytes.Buffer
+		if err := pr.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

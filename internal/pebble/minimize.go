@@ -1,0 +1,62 @@
+package pebble
+
+import "fmt"
+
+// MinimizeProtocol removes operations that cannot change the final state:
+// transfers whose receiver already holds the pebble (the copy is a no-op —
+// and any later op that relied on the copy is equally served by the existing
+// pebble), and duplicate generations of a pebble already present at the
+// processor. Steps left empty are deleted, shortening T' and therefore the
+// measured slowdown/inefficiency. The result validates and carries the same
+// computations; the returned count is the number of dropped operations.
+func MinimizeProtocol(pr *Protocol) (*Protocol, int, error) {
+	st := NewState(pr.Guest, pr.Host, pr.T)
+	out := &Protocol{Guest: pr.Guest, Host: pr.Host, T: pr.T}
+	dropped := 0
+	for si, step := range pr.Steps {
+		var kept []Op
+		// First pass: decide which transfers are no-ops (receiver already
+		// holds the pebble BEFORE this step). Send/Receive pairs must be
+		// dropped together.
+		dropPair := make(map[[3]int]bool) // (from, to, pebble-hash-free) key below
+		key := func(from, to int, pb Type) [3]int {
+			return [3]int{from*pr.Host.N() + to, pb.P, pb.T}
+		}
+		for _, op := range step {
+			if op.Kind == Receive && st.Contains(op.Proc, op.Pebble) {
+				dropPair[key(op.Peer, op.Proc, op.Pebble)] = true
+			}
+		}
+		for _, op := range step {
+			switch op.Kind {
+			case Generate:
+				if st.Contains(op.Proc, op.Pebble) {
+					dropped++
+					continue
+				}
+				kept = append(kept, op)
+			case Send:
+				if dropPair[key(op.Proc, op.Peer, op.Pebble)] {
+					dropped++
+					continue
+				}
+				kept = append(kept, op)
+			case Receive:
+				if dropPair[key(op.Peer, op.Proc, op.Pebble)] {
+					dropped++
+					continue
+				}
+				kept = append(kept, op)
+			default:
+				return nil, 0, fmt.Errorf("pebble: unknown op kind %v at step %d", op.Kind, si)
+			}
+		}
+		if err := st.ApplyStep(kept); err != nil {
+			return nil, 0, fmt.Errorf("pebble: minimization broke step %d (bug): %w", si+1, err)
+		}
+		if len(kept) > 0 {
+			out.Steps = append(out.Steps, kept)
+		}
+	}
+	return out, dropped, nil
+}

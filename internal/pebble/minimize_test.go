@@ -1,0 +1,133 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+func TestMinimizeProtocolPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, dropped, err := MinimizeProtocol(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := min.Validate(); err != nil {
+		t.Fatalf("minimized protocol invalid: %v", err)
+	}
+	if min.HostSteps() > pr.HostSteps() {
+		t.Errorf("minimization lengthened the protocol: %d > %d", min.HostSteps(), pr.HostSteps())
+	}
+	if min.OpCount()+dropped != pr.OpCount() {
+		t.Errorf("op accounting: %d kept + %d dropped ≠ %d", min.OpCount(), dropped, pr.OpCount())
+	}
+	comp := sim.MixMod(guest, rng)
+	if err := VerifyCarries(min, comp); err != nil {
+		t.Fatalf("minimized protocol lost the computation: %v", err)
+	}
+}
+
+func TestMinimizeDropsRedundantTransfer(t *testing.T) {
+	// Hand-built redundancy: the same initial pebble is sent twice along the
+	// same edge in different steps; the second transfer is a no-op.
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pb := Type{P: 0, T: 0}
+	pr := &Protocol{Guest: guest, Host: host, T: 1, Steps: [][]Op{
+		{
+			{Kind: Send, Proc: 0, Pebble: pb, Peer: 1},
+			{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0},
+		},
+		{
+			{Kind: Send, Proc: 0, Pebble: pb, Peer: 1},
+			{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0},
+		},
+		{{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 1}}},
+		{{Kind: Generate, Proc: 0, Pebble: Type{P: 1, T: 1}}},
+		{{Kind: Generate, Proc: 0, Pebble: Type{P: 2, T: 1}}},
+	}}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	min, dropped, err := MinimizeProtocol(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first transfer is ALSO redundant here: every processor holds all
+	// initial pebbles, so both transfer steps vanish entirely.
+	if dropped != 4 {
+		t.Errorf("dropped %d ops, want 4", dropped)
+	}
+	if min.HostSteps() != 3 {
+		t.Errorf("minimized steps %d, want 3", min.HostSteps())
+	}
+	if _, err := min.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeDropsDuplicateGenerate(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr := &Protocol{Guest: guest, Host: host, T: 1, Steps: [][]Op{
+		{
+			{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 1}},
+			{Kind: Generate, Proc: 1, Pebble: Type{P: 1, T: 1}},
+			{Kind: Generate, Proc: 2, Pebble: Type{P: 2, T: 1}},
+		},
+		{{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 1}}}, // duplicate
+	}}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	min, dropped, err := MinimizeProtocol(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 || min.HostSteps() != 1 {
+		t.Errorf("dropped=%d steps=%d, want 1 and 1", dropped, min.HostSteps())
+	}
+}
+
+func TestMinimizeOnRealProtocolsNeverBreaks(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		guest, err := topology.RandomGuest(rng, 12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := topology.Ring(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := RandomProtocol(guest, host, 2, rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, _, err := MinimizeProtocol(pr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := min.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		comp := sim.MixMod(guest, rng)
+		if err := VerifyCarries(min, comp); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+func TestMulticastProtocolValidAndCarries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 48, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildMulticastProtocol(guest, host, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatalf("multicast protocol invalid: %v", err)
+	}
+	comp := sim.MixMod(guest, rng)
+	if err := VerifyCarries(pr, comp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastBeatsUnicastOps(t *testing.T) {
+	// Multicast ships one copy per tree edge; with multiple destinations
+	// sharing prefixes on a butterfly, both the op count and the host steps
+	// must not exceed the unicast builder's.
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, hostDim, T int }{{48, 3, 4}, {96, 4, 3}, {64, 3, 3}} {
+		guest, err := topology.RandomGuest(rng, tc.n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := topology.WrappedButterfly(tc.hostDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := BuildEmbeddingProtocol(guest, host, nil, tc.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := BuildMulticastProtocol(guest, host, nil, tc.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := multi.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if multi.OpCount() > uni.OpCount() {
+			t.Errorf("n=%d: multicast ops %d above unicast %d", tc.n, multi.OpCount(), uni.OpCount())
+		}
+		if multi.HostSteps() > uni.HostSteps() {
+			t.Errorf("n=%d: multicast steps %d above unicast %d", tc.n, multi.HostSteps(), uni.HostSteps())
+		}
+	}
+}
+
+func TestMulticastGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	guest, err := topology.RandomGuest(rng, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMulticastProtocol(guest, host, nil, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := BuildMulticastProtocol(guest, host, []int{0}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := BuildMulticastProtocol(guest, host, []int{9, 0, 0, 0, 0, 0, 0, 0}, 2); err == nil {
+		t.Error("bad host accepted")
+	}
+}
+
+func TestMulticastSingleHostGuest(t *testing.T) {
+	// All guests on one host: no distribution at all.
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	f := []int{1, 1, 1}
+	pr, err := BuildMulticastProtocol(guest, host, f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := pr.Stats()
+	if st.Sends != 0 {
+		t.Errorf("co-located guests still sent %d copies", st.Sends)
+	}
+}

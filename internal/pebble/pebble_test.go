@@ -1,0 +1,436 @@
+package pebble
+
+import (
+	"testing"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/topology"
+)
+
+// tinyGuest returns K3 — the smallest regular guest with interesting
+// neighborhoods.
+func tinyGuest(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tinyHost(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInitialStateHoldsAllPebbles(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 4)
+	st := NewState(guest, host, 2)
+	for q := 0; q < 4; q++ {
+		for i := 0; i < 3; i++ {
+			if !st.Contains(q, Type{P: i, T: 0}) {
+				t.Errorf("host %d missing initial pebble %d", q, i)
+			}
+		}
+	}
+	if w := st.Weight(0, 0); w != 4 {
+		t.Errorf("q_{0,0} = %d, want 4", w)
+	}
+}
+
+func TestGenerateRequiresPredecessors(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	st := NewState(guest, host, 2)
+	// Generating (P0, 1) works everywhere at the start.
+	if err := st.ApplyStep([]Op{{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Generating (P0, 2) on processor 1 must fail: no (·,1) pebbles there.
+	if err := st.ApplyStep([]Op{{Kind: Generate, Proc: 1, Pebble: Type{P: 0, T: 2}}}); err == nil {
+		t.Error("generation without predecessors accepted")
+	}
+}
+
+func TestGenerateOutOfHorizon(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	st := NewState(guest, host, 1)
+	if err := st.ApplyStep([]Op{{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 5}}}); err == nil {
+		t.Error("generation beyond horizon accepted")
+	}
+	st2 := NewState(guest, host, 1)
+	if err := st2.ApplyStep([]Op{{Kind: Generate, Proc: 0, Pebble: Type{P: 9, T: 1}}}); err == nil {
+		t.Error("generation for unknown guest accepted")
+	}
+}
+
+func TestOneOpPerProcessor(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	st := NewState(guest, host, 2)
+	err := st.ApplyStep([]Op{
+		{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 1}},
+		{Kind: Generate, Proc: 0, Pebble: Type{P: 1, T: 1}},
+	})
+	if err == nil {
+		t.Error("two ops on one processor accepted")
+	}
+}
+
+func TestSendReceivePairing(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 4)
+	st := NewState(guest, host, 2)
+	pb := Type{P: 0, T: 0}
+	// Unmatched send.
+	if err := st.ApplyStep([]Op{{Kind: Send, Proc: 0, Pebble: pb, Peer: 1}}); err == nil {
+		t.Error("unmatched send accepted")
+	}
+	st = NewState(guest, host, 2)
+	// Unmatched receive.
+	if err := st.ApplyStep([]Op{{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0}}); err == nil {
+		t.Error("unmatched receive accepted")
+	}
+	st = NewState(guest, host, 2)
+	// Proper pair.
+	err := st.ApplyStep([]Op{
+		{Kind: Send, Proc: 0, Pebble: pb, Peer: 1},
+		{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send along a non-edge.
+	st = NewState(guest, host, 2)
+	err = st.ApplyStep([]Op{
+		{Kind: Send, Proc: 0, Pebble: pb, Peer: 2},
+		{Kind: Receive, Proc: 2, Pebble: pb, Peer: 0},
+	})
+	if err == nil {
+		t.Error("send along non-edge accepted")
+	}
+}
+
+func TestSendRequiresPossession(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 4)
+	st := NewState(guest, host, 2)
+	pb := Type{P: 0, T: 1} // not yet generated
+	err := st.ApplyStep([]Op{
+		{Kind: Send, Proc: 0, Pebble: pb, Peer: 1},
+		{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0},
+	})
+	if err == nil {
+		t.Error("sending a pebble not held was accepted")
+	}
+}
+
+func TestPebblesAreNotLost(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 4)
+	st := NewState(guest, host, 2)
+	pb := Type{P: 1, T: 0}
+	if err := st.ApplyStep([]Op{
+		{Kind: Send, Proc: 0, Pebble: pb, Peer: 1},
+		{Kind: Receive, Proc: 1, Pebble: pb, Peer: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(0, pb) || !st.Contains(1, pb) {
+		t.Error("send lost the pebble somewhere")
+	}
+}
+
+func TestBuildEmbeddingProtocolValidates(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.T != 3 {
+		t.Errorf("T = %d", pr.T)
+	}
+	if pr.HostSteps() < 3 {
+		t.Errorf("host steps = %d implausibly small", pr.HostSteps())
+	}
+	if pr.Slowdown() < 1 {
+		t.Errorf("slowdown %f < 1", pr.Slowdown())
+	}
+	if pr.Inefficiency() <= 0 {
+		t.Errorf("inefficiency %f", pr.Inefficiency())
+	}
+	// Final pebbles exist.
+	for i := 0; i < 3; i++ {
+		if len(st.Generators(i, 2)) == 0 {
+			t.Errorf("no generator for final pebble of P%d", i)
+		}
+	}
+}
+
+func TestBuildEmbeddingProtocolLargerHost(t *testing.T) {
+	// m > n: each guest on its own host.
+	guest := tinyGuest(t)
+	host := tinyHost(t, 8)
+	f := []int{0, 3, 6}
+	pr, err := BuildEmbeddingProtocol(guest, host, f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildEmbeddingProtocolGuards(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	if _, err := BuildEmbeddingProtocol(guest, host, nil, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := BuildEmbeddingProtocol(guest, host, []int{0, 1}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := BuildEmbeddingProtocol(guest, host, []int{0, 1, 99}, 2); err == nil {
+		t.Error("invalid host id accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	if _, err := BuildEmbeddingProtocol(guest, b.Build(), nil, 2); err == nil {
+		t.Error("disconnected host accepted")
+	}
+}
+
+func TestRepresentativesAndGenerators(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for tt := 0; tt < 3; tt++ {
+			reps := st.Representatives(i, tt)
+			gens := st.Generators(i, tt)
+			if len(gens) == 0 {
+				t.Errorf("Q'(%d,%d) empty", i, tt)
+			}
+			// Generators hold the pebble they extend.
+			repSet := make(map[int]bool)
+			for _, q := range reps {
+				repSet[q] = true
+			}
+			for _, q := range gens {
+				if !repSet[q] {
+					t.Errorf("generator %d of (P%d,t%d+1) not a representative", q, i, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightsAndPebbleCount(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial pebbles: weight m each.
+	if st.TotalWeight(0) != 9 {
+		t.Errorf("Σq_{i,0} = %d, want 9", st.TotalWeight(0))
+	}
+	// The proof of Lemma 3.12 bounds pebbles by ops + initial placements.
+	if st.PebbleCount() > pr.OpCount()+9 {
+		t.Errorf("pebbles %d exceed ops %d + initial 9", st.PebbleCount(), pr.OpCount())
+	}
+	if st.TotalWeight(1) < 3 {
+		t.Errorf("Σq_{i,1} = %d < n", st.TotalWeight(1))
+	}
+}
+
+func TestGuestsOnProcessor(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, []int{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=0 every processor holds every guest's pebble.
+	if got := st.GuestsOnProcessor(0, 0); len(got) != 3 {
+		t.Errorf("𝒫(0,0) = %v", got)
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e_t(τ) is monotone in τ and reaches n for every t < T.
+	for tt := 0; tt < 3; tt++ {
+		prev := 0
+		for τ := 0; τ <= pr.HostSteps(); τ++ {
+			e := st.FrontierSize(tt, τ)
+			if e < prev {
+				t.Errorf("frontier not monotone at t=%d τ=%d", tt, τ)
+			}
+			prev = e
+		}
+		if prev != 3 {
+			t.Errorf("frontier at t=%d ends at %d, want 3", tt, prev)
+		}
+	}
+	// e_0(0) = n: initial generating pebbles exist from the start.
+	if e := st.FrontierSize(0, 0); e != 3 {
+		t.Errorf("e_0(0) = %d, want 3", e)
+	}
+	if τ := st.FrontierThresholdStep(1, 3, pr.HostSteps()); τ < 0 {
+		t.Error("threshold step not found")
+	}
+	if τ := st.FrontierThresholdStep(1, 99, pr.HostSteps()); τ != -1 {
+		t.Errorf("impossible threshold returned %d", τ)
+	}
+}
+
+func TestExtractFragment(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.ExtractFragment(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+	if f.SumB() != st.TotalWeight(1) {
+		t.Errorf("SumB %d != Σq %d", f.SumB(), st.TotalWeight(1))
+	}
+	if c := f.SmallDCount(float64(guest.N())); c != 3 {
+		t.Errorf("all D_i ≤ n must hold, got %d", c)
+	}
+	// Lightest-generator picker also yields a valid fragment.
+	f2, err := st.ExtractFragment(1, st.PickLightest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := st.ExtractFragment(99, nil); err == nil {
+		t.Error("t0 beyond horizon accepted")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	f := BalancedAssignment(10, 3)
+	load := LoadOf(f, 3)
+	if load[0] != 4 || load[1] != 3 || load[2] != 3 {
+		t.Errorf("balanced load = %v", load)
+	}
+	if MaxLoad(f, 3) != 4 {
+		t.Errorf("max load = %d", MaxLoad(f, 3))
+	}
+	r := RandomizedAssignment(10, 3, 42)
+	if MaxLoad(r, 3) != 4 {
+		t.Errorf("randomized assignment changed load: %v", LoadOf(r, 3))
+	}
+	r2 := RandomizedAssignment(10, 3, 42)
+	for i := range r {
+		if r[i] != r2[i] {
+			t.Error("randomized assignment not deterministic")
+		}
+	}
+}
+
+func TestValidateRejectsMissingFinalPebbles(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr := &Protocol{Guest: guest, Host: host, T: 1, Steps: [][]Op{{}}}
+	if _, err := pr.Validate(); err == nil {
+		t.Error("protocol without final pebbles accepted")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if Generate.String() != "generate" || Send.String() != "send" || Receive.String() != "receive" {
+		t.Error("op kind strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	if (Type{P: 1, T: 2}).String() == "" {
+		t.Error("type string empty")
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pr.Stats()
+	if st.TotalOps != pr.OpCount() {
+		t.Errorf("ops %d != OpCount %d", st.TotalOps, pr.OpCount())
+	}
+	if st.Sends != st.Receives {
+		t.Errorf("sends %d != receives %d", st.Sends, st.Receives)
+	}
+	if st.Generates != 9 { // n=3 guests × T=3 steps, one generator each
+		t.Errorf("generates = %d, want 9", st.Generates)
+	}
+	if st.BusyFraction <= 0 || st.BusyFraction > 1 {
+		t.Errorf("busy fraction %f out of (0,1]", st.BusyFraction)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestZeroHorizonAccessors(t *testing.T) {
+	guest := tinyGuest(t)
+	host := tinyHost(t, 3)
+	pr := &Protocol{Guest: guest, Host: host, T: 0}
+	if pr.Slowdown() != 0 || pr.Inefficiency() != 0 {
+		t.Error("zero-horizon ratios not zero")
+	}
+}

@@ -1,0 +1,107 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/topology"
+)
+
+func TestPipelinedProtocolValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildPipelinedProtocol(guest, host, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatalf("pipelined protocol invalid: %v", err)
+	}
+	if pr.T != 4 {
+		t.Errorf("T = %d", pr.T)
+	}
+}
+
+func TestPipelinedComparableToPhased(t *testing.T) {
+	// Empirical finding (recorded in EXPERIMENTS.md E15): under the
+	// one-op-per-processor model, routing dominates and the two schedules
+	// land within a few percent of each other. Pin that: both validate and
+	// neither is more than 25% worse than the other.
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct {
+		n, hostDim, T int
+	}{{32, 3, 4}, {64, 3, 3}, {48, 4, 4}, {96, 3, 4}} {
+		guest, err := topology.RandomGuest(rng, tc.n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := topology.WrappedButterfly(tc.hostDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phased, err := BuildEmbeddingProtocol(guest, host, nil, tc.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped, err := BuildPipelinedProtocol(guest, host, nil, tc.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := piped.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(piped.HostSteps()) / float64(phased.HostSteps())
+		if ratio > 1.25 || ratio < 0.75 {
+			t.Errorf("n=%d: pipelined/phased ratio %.2f outside [0.75, 1.25] (%d vs %d)",
+				tc.n, ratio, piped.HostSteps(), phased.HostSteps())
+		}
+	}
+}
+
+func TestPipelinedEqualSizeHost(t *testing.T) {
+	// m = n, load 1: pipelining across guest steps still applies.
+	rng := rand.New(rand.NewSource(3))
+	guest, err := topology.RandomGuest(rng, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildPipelinedProtocol(guest, host, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	guest, err := topology.RandomGuest(rng, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPipelinedProtocol(guest, host, nil, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := BuildPipelinedProtocol(guest, host, []int{0}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := BuildPipelinedProtocol(guest, host, []int{0, 0, 0, 0, 0, 0, 0, 9}, 2); err == nil {
+		t.Error("bad host id accepted")
+	}
+}

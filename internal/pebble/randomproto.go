@@ -1,0 +1,142 @@
+package pebble
+
+import (
+	"fmt"
+	"math/rand"
+
+	"universalnet/internal/graph"
+)
+
+// RandomProtocol generates a random legal simulation protocol by greedy
+// random play: at every host step each processor picks, uniformly among its
+// currently legal moves, a generate or a send (paired with a free
+// neighbor's receive), with a bias toward generations that make progress.
+// The result is a valid protocol by construction — an independent source of
+// protocols for testing the analysis machinery beyond the structured
+// embedding builder. Generation terminates when all final pebbles exist.
+func RandomProtocol(guest, host *graph.Graph, T int, rng *rand.Rand, maxHostSteps int) (*Protocol, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("pebble: need T ≥ 1")
+	}
+	if !host.IsConnected() {
+		return nil, fmt.Errorf("pebble: host must be connected")
+	}
+	n, m := guest.N(), host.N()
+	if maxHostSteps == 0 {
+		maxHostSteps = 64 * T * (n + m) * (host.Diameter() + 1)
+	}
+	pr := &Protocol{Guest: guest, Host: host, T: T}
+	st := NewState(guest, host, T)
+
+	// canGenerate reports a legal, not-yet-done generation of (P_i, t) at q.
+	canGenerate := func(q, i, t int) bool {
+		if t < 1 || t > T {
+			return false
+		}
+		if st.Contains(q, Type{P: i, T: t}) {
+			return false
+		}
+		if !st.Contains(q, Type{P: i, T: t - 1}) {
+			return false
+		}
+		for _, j := range guest.Neighbors(i) {
+			if !st.Contains(q, Type{P: j, T: t - 1}) {
+				return false
+			}
+		}
+		return true
+	}
+	finalDone := func() bool {
+		for i := 0; i < n; i++ {
+			if len(st.generators[Type{P: i, T: T}]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !finalDone() {
+		if st.HostStep() >= maxHostSteps {
+			return nil, fmt.Errorf("pebble: random protocol exceeded %d host steps", maxHostSteps)
+		}
+		busy := make([]bool, m)
+		var ops []Op
+		order := rng.Perm(m)
+		for _, q := range order {
+			if busy[q] {
+				continue
+			}
+			// Prefer a generation (progress); pick a random legal one.
+			var gens []Type
+			for i := 0; i < n; i++ {
+				// Try the lowest missing time level for this guest at q
+				// plus one random higher level for variety.
+				for t := 1; t <= T; t++ {
+					if canGenerate(q, i, t) {
+						gens = append(gens, Type{P: i, T: t})
+						break
+					}
+				}
+			}
+			if len(gens) > 0 && rng.Intn(4) != 0 {
+				pick := gens[rng.Intn(len(gens))]
+				ops = append(ops, Op{Kind: Generate, Proc: q, Pebble: pick})
+				busy[q] = true
+				continue
+			}
+			// Otherwise, send a random useful pebble to a random free
+			// neighbor that lacks it.
+			var nbrs []int
+			for _, w := range host.Neighbors(q) {
+				if !busy[w] {
+					nbrs = append(nbrs, w)
+				}
+			}
+			if len(nbrs) == 0 {
+				continue
+			}
+			w := nbrs[rng.Intn(len(nbrs))]
+			pb, ok := pickUsefulPebble(st, guest, q, w, T, rng)
+			if !ok {
+				continue
+			}
+			ops = append(ops, Op{Kind: Send, Proc: q, Pebble: pb, Peer: w})
+			ops = append(ops, Op{Kind: Receive, Proc: w, Pebble: pb, Peer: q})
+			busy[q] = true
+			busy[w] = true
+		}
+		if len(ops) == 0 {
+			return nil, fmt.Errorf("pebble: random protocol stalled at host step %d", st.HostStep())
+		}
+		if err := st.ApplyStep(ops); err != nil {
+			return nil, fmt.Errorf("pebble: generated illegal step (bug): %w", err)
+		}
+		pr.Steps = append(pr.Steps, ops)
+	}
+	return pr, nil
+}
+
+// pickUsefulPebble chooses a pebble held by q and missing at w, preferring
+// recent time levels (they unblock generations).
+func pickUsefulPebble(st *State, guest *graph.Graph, q, w, T int, rng *rand.Rand) (Type, bool) {
+	n := guest.N()
+	// Scan from high time levels down; collect a few candidates.
+	var cands []Type
+	for t := T; t >= 0 && len(cands) < 8; t-- {
+		start := rng.Intn(n)
+		for off := 0; off < n; off++ {
+			i := (start + off) % n
+			ty := Type{P: i, T: t}
+			if st.Contains(q, ty) && !st.Contains(w, ty) {
+				cands = append(cands, ty)
+				if len(cands) >= 8 {
+					break
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return Type{}, false
+	}
+	return cands[rng.Intn(len(cands))], true
+}

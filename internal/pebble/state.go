@@ -1,0 +1,260 @@
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+// State tracks a pebble-game execution: which processors contain which
+// pebbles, who generated what, and when each generator first obtained each
+// pebble (for the frontier analysis of Definition 3.16).
+type State struct {
+	guest *graph.Graph
+	host  *graph.Graph
+	T     int
+
+	// contains[q] is the set of pebbles held by host processor q.
+	contains []map[Type]bool
+	// holders[ty] is the sorted-on-demand set of processors holding ty.
+	holders map[Type][]int
+	// generators[ty] is the set of processors that executed Generate(ty).
+	generators map[Type][]int
+	// genStep[ty][q] is the host step (1-based) at which q generated ty.
+	genStep map[Type]map[int]int
+	// firstHeld[q][ty] is the host step at which q first obtained ty
+	// (0 for initial pebbles).
+	firstHeld []map[Type]int
+	// step counts applied host steps.
+	step int
+}
+
+// NewState initializes the start configuration: every host processor holds
+// all initial pebbles (P_i, 0).
+func NewState(guest, host *graph.Graph, T int) *State {
+	st := &State{
+		guest:      guest,
+		host:       host,
+		T:          T,
+		contains:   make([]map[Type]bool, host.N()),
+		holders:    make(map[Type][]int),
+		generators: make(map[Type][]int),
+		genStep:    make(map[Type]map[int]int),
+		firstHeld:  make([]map[Type]int, host.N()),
+	}
+	for q := 0; q < host.N(); q++ {
+		st.contains[q] = make(map[Type]bool)
+		st.firstHeld[q] = make(map[Type]int)
+	}
+	for i := 0; i < guest.N(); i++ {
+		ty := Type{P: i, T: 0}
+		for q := 0; q < host.N(); q++ {
+			st.contains[q][ty] = true
+			st.firstHeld[q][ty] = 0
+		}
+		all := make([]int, host.N())
+		for q := range all {
+			all[q] = q
+		}
+		st.holders[ty] = all
+	}
+	return st
+}
+
+// HostStep returns the number of host steps applied so far.
+func (st *State) HostStep() int { return st.step }
+
+// Contains reports whether processor q holds pebble ty.
+func (st *State) Contains(q int, ty Type) bool { return st.contains[q][ty] }
+
+// ApplyStep validates and applies one host step's operations.
+func (st *State) ApplyStep(ops []Op) error {
+	st.step++
+	busy := make(map[int]bool)
+	// Pair sends and receives: a receive must match a send of the same
+	// pebble along the reverse edge in this step.
+	type edgeKey struct {
+		from, to int
+		pb       Type
+	}
+	sends := make(map[edgeKey]int)
+	var receives []Op
+	var gains []struct {
+		q  int
+		pb Type
+	}
+
+	for _, op := range ops {
+		if op.Proc < 0 || op.Proc >= st.host.N() {
+			return fmt.Errorf("processor %d out of range", op.Proc)
+		}
+		if busy[op.Proc] {
+			return fmt.Errorf("processor %d performs two operations", op.Proc)
+		}
+		busy[op.Proc] = true
+		switch op.Kind {
+		case Generate:
+			if err := st.checkGenerate(op.Proc, op.Pebble); err != nil {
+				return err
+			}
+			gains = append(gains, struct {
+				q  int
+				pb Type
+			}{op.Proc, op.Pebble})
+			st.generators[op.Pebble] = appendUnique(st.generators[op.Pebble], op.Proc)
+			if st.genStep[op.Pebble] == nil {
+				st.genStep[op.Pebble] = make(map[int]int)
+			}
+			if _, dup := st.genStep[op.Pebble][op.Proc]; !dup {
+				st.genStep[op.Pebble][op.Proc] = st.step
+			}
+		case Send:
+			if !st.host.HasEdge(op.Proc, op.Peer) {
+				return fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer)
+			}
+			if !st.contains[op.Proc][op.Pebble] {
+				return fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble)
+			}
+			sends[edgeKey{op.Proc, op.Peer, op.Pebble}]++
+		case Receive:
+			receives = append(receives, op)
+		default:
+			return fmt.Errorf("unknown op kind %v", op.Kind)
+		}
+	}
+	for _, op := range receives {
+		k := edgeKey{op.Peer, op.Proc, op.Pebble}
+		if sends[k] == 0 {
+			return fmt.Errorf("processor %d receives %v from %d without a matching send", op.Proc, op.Pebble, op.Peer)
+		}
+		sends[k]--
+		gains = append(gains, struct {
+			q  int
+			pb Type
+		}{op.Proc, op.Pebble})
+	}
+	for k, c := range sends {
+		if c > 0 {
+			return fmt.Errorf("send of %v from %d to %d has no matching receive", k.pb, k.from, k.to)
+		}
+	}
+	// Apply gains after all checks (synchronous step semantics).
+	for _, g := range gains {
+		if !st.contains[g.q][g.pb] {
+			st.contains[g.q][g.pb] = true
+			st.holders[g.pb] = append(st.holders[g.pb], g.q)
+			st.firstHeld[g.q][g.pb] = st.step
+		}
+	}
+	return nil
+}
+
+func (st *State) checkGenerate(q int, ty Type) error {
+	if ty.T < 1 || ty.T > st.T {
+		return fmt.Errorf("generate %v outside guest horizon [1,%d]", ty, st.T)
+	}
+	if ty.P < 0 || ty.P >= st.guest.N() {
+		return fmt.Errorf("generate %v: no such guest processor", ty)
+	}
+	need := Type{P: ty.P, T: ty.T - 1}
+	if !st.contains[q][need] {
+		return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+	}
+	for _, j := range st.guest.Neighbors(ty.P) {
+		need := Type{P: j, T: ty.T - 1}
+		if !st.contains[q][need] {
+			return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+		}
+	}
+	return nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Representatives returns Q_S(i, t): the processors holding pebble (P_i, t)
+// at the current point of the protocol, sorted.
+func (st *State) Representatives(i, t int) []int {
+	h := append([]int(nil), st.holders[Type{P: i, T: t}]...)
+	sort.Ints(h)
+	return h
+}
+
+// Generators returns Q'_S(i, t): the processors that generated (P_i, t+1)
+// (necessarily members of Q_S(i, t)), sorted.
+func (st *State) Generators(i, t int) []int {
+	g := append([]int(nil), st.generators[Type{P: i, T: t + 1}]...)
+	sort.Ints(g)
+	return g
+}
+
+// Weight returns q_{i,t} = |Q_S(i,t)| (Definition 3.11).
+func (st *State) Weight(i, t int) int { return len(st.holders[Type{P: i, T: t}]) }
+
+// TotalWeight returns Σ_i q_{i,t} for one guest time step.
+func (st *State) TotalWeight(t int) int {
+	sum := 0
+	for i := 0; i < st.guest.N(); i++ {
+		sum += st.Weight(i, t)
+	}
+	return sum
+}
+
+// PebbleCount returns the total number of pebble placements, which is
+// bounded by the operation count T'·m in the proof of Lemma 3.12.
+func (st *State) PebbleCount() int {
+	sum := 0
+	for _, h := range st.holders {
+		sum += len(h)
+	}
+	return sum
+}
+
+// GuestsOnProcessor returns 𝒫(j, t) = {i : j ∈ Q_S(i, t)} — the guest
+// processors whose time-t pebble processor j holds (used for the D_i sets
+// and the heavy-processor argument of Lemma 3.15).
+func (st *State) GuestsOnProcessor(j, t int) []int {
+	var out []int
+	for i := 0; i < st.guest.N(); i++ {
+		if st.contains[j][Type{P: i, T: t}] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FrontierSize returns e_t(τ) of Definition 3.16: the number of guest
+// processors i for which a generating pebble of type (P_i, t) exists after τ
+// host steps — that is, some processor that (at some point of the protocol)
+// generates (P_i, t+1) already holds (P_i, t) by step τ.
+func (st *State) FrontierSize(t, τ int) int {
+	count := 0
+	for i := 0; i < st.guest.N(); i++ {
+		ty := Type{P: i, T: t}
+		for _, q := range st.generators[Type{P: i, T: t + 1}] {
+			if first, ok := st.firstHeld[q][ty]; ok && first <= τ {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// FrontierThresholdStep returns τ_j of Lemma 3.15: the earliest host step at
+// which e_t(τ) ≥ target, or -1 if never reached.
+func (st *State) FrontierThresholdStep(t, target, maxStep int) int {
+	for τ := 0; τ <= maxStep; τ++ {
+		if st.FrontierSize(t, τ) >= target {
+			return τ
+		}
+	}
+	return -1
+}

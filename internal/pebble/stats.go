@@ -1,0 +1,48 @@
+package pebble
+
+import "fmt"
+
+// Stats summarizes a protocol's operational profile: how the host's
+// step·processor budget was spent. The lower-bound proof charges every
+// operation (T'·m in total); the busy fraction shows how close a concrete
+// protocol comes to that ceiling.
+type Stats struct {
+	HostSteps    int
+	Generates    int
+	Sends        int
+	Receives     int
+	TotalOps     int
+	BusyFraction float64 // TotalOps / (HostSteps · m)
+	MaxStepOps   int     // most ops in a single host step
+}
+
+// Stats computes the profile.
+func (pr *Protocol) Stats() Stats {
+	st := Stats{HostSteps: pr.HostSteps()}
+	for _, step := range pr.Steps {
+		if len(step) > st.MaxStepOps {
+			st.MaxStepOps = len(step)
+		}
+		for _, op := range step {
+			switch op.Kind {
+			case Generate:
+				st.Generates++
+			case Send:
+				st.Sends++
+			case Receive:
+				st.Receives++
+			}
+		}
+	}
+	st.TotalOps = st.Generates + st.Sends + st.Receives
+	if pr.Host != nil && pr.HostSteps() > 0 && pr.Host.N() > 0 {
+		st.BusyFraction = float64(st.TotalOps) / float64(pr.HostSteps()*pr.Host.N())
+	}
+	return st
+}
+
+// String renders the profile on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d ops=%d (gen=%d send=%d recv=%d) busy=%.1f%% maxstep=%d",
+		s.HostSteps, s.TotalOps, s.Generates, s.Sends, s.Receives, 100*s.BusyFraction, s.MaxStepOps)
+}

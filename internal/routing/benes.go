@@ -1,0 +1,288 @@
+package routing
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// The Beneš network of dimension d has 2^d rows and 2d−1 switching stages
+// (levels 0..2d−1). Stage s switches bit min(s, 2d−2−s): the outermost
+// stages switch bit 0, the central stage switches bit d−1. Any permutation
+// of the rows can be routed with vertex-disjoint paths, one level per step —
+// the constructive content of Waksman's theorem [19] and the reason a
+// butterfly of size m routes fixed permutations offline in O(log m) steps.
+
+// BenesLevels returns the number of vertex levels of the dimension-d Beneš
+// network: 2d (levels 0..2d−1), i.e. 2d−1 stages.
+func BenesLevels(d int) int { return 2 * d }
+
+// benesStageBit returns the bit switched between level s and s+1.
+func benesStageBit(d, s int) int {
+	if s < d {
+		return s
+	}
+	return 2*d - 2 - s
+}
+
+// BenesNode maps (level, row) to a vertex index of the BenesGraph.
+func BenesNode(d, level, row int) int { return level*(1<<d) + row }
+
+// BenesGraph returns the dimension-d Beneš network as a graph: BenesLevels(d)
+// levels of 2^d rows; between consecutive levels, straight edges and cross
+// edges on the stage bit.
+func BenesGraph(d int) (*graph.Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("routing: Beneš dimension %d out of range [1,20]", d)
+	}
+	rows := 1 << d
+	levels := BenesLevels(d)
+	b := graph.NewBuilder(levels * rows)
+	for s := 0; s+1 < levels; s++ {
+		bit := benesStageBit(d, s)
+		for r := 0; r < rows; r++ {
+			b.MustAddEdge(BenesNode(d, s, r), BenesNode(d, s+1, r))
+			b.MustAddEdge(BenesNode(d, s, r), BenesNode(d, s+1, r^(1<<bit)))
+		}
+	}
+	return b.Build(), nil
+}
+
+// BenesPaths computes, for the permutation perm of the 2^d rows, a family of
+// vertex-disjoint paths through the Beneš network: paths[i][l] is the row of
+// packet i at level l, with paths[i][0] = i and paths[i][last] = perm[i].
+// This is the Waksman looping algorithm, applied recursively.
+func BenesPaths(d int, perm []int) ([][]int, error) {
+	rows := 1 << d
+	if len(perm) != rows {
+		return nil, fmt.Errorf("routing: permutation length %d, want %d", len(perm), rows)
+	}
+	if err := checkPermutation(perm); err != nil {
+		return nil, err
+	}
+	levels := BenesLevels(d)
+	paths := make([][]int, rows)
+	for i := range paths {
+		paths[i] = make([]int, levels)
+		paths[i][0] = i
+	}
+	ids := make([]int, rows)
+	cur := make([]int, rows)
+	dst := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = i
+		cur[i] = i
+		dst[i] = perm[i]
+	}
+	benesFill(paths, ids, cur, dst, 0, levels-1, 0, d)
+	return paths, nil
+}
+
+func checkPermutation(perm []int) error {
+	seen := make([]bool, len(perm))
+	for i, v := range perm {
+		if v < 0 || v >= len(perm) {
+			return fmt.Errorf("routing: perm[%d] = %d out of range", i, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("routing: value %d repeated in permutation", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// benesFill routes the packets `ids` (currently at rows cur, destined for
+// rows dst; all rows agree on bits < b) through graph levels [lo, hi],
+// switching bits b..d−1 and back. It writes paths[p][l] for l in (lo, hi].
+func benesFill(paths [][]int, ids, cur, dst []int, lo, hi, b, d int) {
+	k := d - b // bits remaining
+	if k == 1 {
+		// Single stage: flip (or keep) bit b to reach the destination row.
+		for idx, p := range ids {
+			paths[p][hi] = dst[idx]
+		}
+		return
+	}
+	// Waksman looping: assign each packet to the upper (0) or lower (1)
+	// subnetwork so that input switch-mates and output switch-mates split.
+	m := len(ids)
+	bit := 1 << b
+	inMate := make(map[int]int, m)  // cur row → packet index
+	outMate := make(map[int]int, m) // dst row → packet index
+	for idx := range ids {
+		inMate[cur[idx]] = idx
+		outMate[dst[idx]] = idx
+	}
+	sub := make([]int, m)
+	assigned := make([]bool, m)
+	for start := 0; start < m; start++ {
+		if assigned[start] {
+			continue
+		}
+		// Walk the constraint cycle: input-mate forces the complement,
+		// output-mate forces the complement.
+		idx, val := start, 0
+		for {
+			if assigned[idx] {
+				break
+			}
+			sub[idx] = val
+			assigned[idx] = true
+			// Input mate of idx must take 1−val.
+			jm, ok := inMate[cur[idx]^bit]
+			if !ok {
+				panic("routing: missing input mate in Beneš recursion")
+			}
+			if assigned[jm] {
+				break
+			}
+			sub[jm] = 1 - val
+			assigned[jm] = true
+			// Output mate of jm must take val again.
+			km, ok := outMate[dst[jm]^bit]
+			if !ok {
+				panic("routing: missing output mate in Beneš recursion")
+			}
+			idx, val = km, 1-sub[jm]
+		}
+	}
+	// First stage: move to the assigned subnetwork row. Last stage: from the
+	// mirrored row to the destination.
+	upIDs, loIDs := []int{}, []int{}
+	upCur, loCur := []int{}, []int{}
+	upDst, loDst := []int{}, []int{}
+	for idx, p := range ids {
+		inRow := setBit(cur[idx], bit, sub[idx])
+		outRow := setBit(dst[idx], bit, sub[idx])
+		paths[p][lo+1] = inRow
+		paths[p][hi] = dst[idx]
+		paths[p][hi-1] = outRow
+		if sub[idx] == 0 {
+			upIDs = append(upIDs, p)
+			upCur = append(upCur, inRow)
+			upDst = append(upDst, outRow)
+		} else {
+			loIDs = append(loIDs, p)
+			loCur = append(loCur, inRow)
+			loDst = append(loDst, outRow)
+		}
+	}
+	if hi-1 > lo+1 {
+		benesFill(paths, upIDs, upCur, upDst, lo+1, hi-1, b+1, d)
+		benesFill(paths, loIDs, loCur, loDst, lo+1, hi-1, b+1, d)
+	}
+}
+
+func setBit(x, bit, val int) int {
+	if val == 0 {
+		return x &^ bit
+	}
+	return x | bit
+}
+
+// VerifyBenesPaths checks that the path family is feasible: correct
+// endpoints, single-bit transitions on the right stage bits, and vertex-
+// disjointness (each (level, row) used by exactly one packet).
+func VerifyBenesPaths(d int, perm []int, paths [][]int) error {
+	rows := 1 << d
+	levels := BenesLevels(d)
+	if len(paths) != rows {
+		return fmt.Errorf("routing: %d paths for %d rows", len(paths), rows)
+	}
+	occupied := make(map[[2]int]int)
+	for i, path := range paths {
+		if len(path) != levels {
+			return fmt.Errorf("routing: path %d has %d levels, want %d", i, len(path), levels)
+		}
+		if path[0] != i {
+			return fmt.Errorf("routing: path %d starts at row %d", i, path[0])
+		}
+		if path[levels-1] != perm[i] {
+			return fmt.Errorf("routing: path %d ends at row %d, want %d", i, path[levels-1], perm[i])
+		}
+		for s := 0; s+1 < levels; s++ {
+			diff := path[s] ^ path[s+1]
+			bit := 1 << benesStageBit(d, s)
+			if diff != 0 && diff != bit {
+				return fmt.Errorf("routing: path %d level %d jumps %d→%d (stage bit %d)", i, s, path[s], path[s+1], bit)
+			}
+		}
+		for l, r := range path {
+			key := [2]int{l, r}
+			if prev, ok := occupied[key]; ok {
+				return fmt.Errorf("routing: packets %d and %d collide at level %d row %d", prev, i, l, r)
+			}
+			occupied[key] = i
+		}
+	}
+	return nil
+}
+
+// OfflinePermutationSteps routes a permutation through the Beneš network and
+// returns the number of steps (one level per step): exactly 2d−1. This is
+// the offline O(log m) routing of §2 made concrete; an error means the
+// permutation was invalid.
+func OfflinePermutationSteps(d int, perm []int) (int, error) {
+	paths, err := BenesPaths(d, perm)
+	if err != nil {
+		return 0, err
+	}
+	if err := VerifyBenesPaths(d, perm, paths); err != nil {
+		return 0, err
+	}
+	return BenesLevels(d) - 1, nil
+}
+
+// OfflineScheduleHH decomposes an h–h problem on the 2^d rows into rounds of
+// (partial) permutations and routes each round through the Beneš network,
+// returning the total step count: rounds · (2d−1). The decomposition is the
+// König edge-coloring of §2 ("O(n/m) permutations that depend on G only").
+func OfflineScheduleHH(d int, p *Problem) (steps int, rounds int, err error) {
+	rows := 1 << d
+	if p.N != rows {
+		return 0, 0, fmt.Errorf("routing: problem on %d nodes, Beneš has %d rows", p.N, rows)
+	}
+	perms, err := DecomposeHRelation(p.N, p.Pairs)
+	if err != nil {
+		return 0, 0, err
+	}
+	per := BenesLevels(d) - 1
+	for _, round := range perms {
+		full := completePermutation(p.N, round)
+		if _, err := OfflinePermutationSteps(d, full); err != nil {
+			return 0, 0, err
+		}
+		steps += per
+	}
+	return steps, len(perms), nil
+}
+
+// completePermutation extends a partial permutation (distinct sources,
+// distinct destinations) to a full permutation of [n] by matching the unused
+// sources to the unused destinations in order.
+func completePermutation(n int, pairs []Pair) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	usedDst := make([]bool, n)
+	for _, pr := range pairs {
+		perm[pr.Src] = pr.Dst
+		usedDst[pr.Dst] = true
+	}
+	free := make([]int, 0)
+	for dm := 0; dm < n; dm++ {
+		if !usedDst[dm] {
+			free = append(free, dm)
+		}
+	}
+	fi := 0
+	for s := 0; s < n; s++ {
+		if perm[s] < 0 {
+			perm[s] = free[fi]
+			fi++
+		}
+	}
+	return perm
+}

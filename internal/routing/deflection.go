@@ -1,0 +1,180 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+// Deflection ("hot-potato") routing: nodes have no buffers — every packet
+// present at a node at the start of a step must leave on some link that
+// step. When more packets want a productive link than exist, the losers are
+// deflected along free links, possibly away from their destination.
+// Classic for universal-network hosts because it needs O(1) memory per node;
+// included as an alternative substrate and ablation point.
+
+// DeflectionRouter implements buffered-less hot-potato routing. Each node
+// can hold at most deg(v) packets between steps (one per incident link, the
+// standard hot-potato invariant); Route errors if an instance starts with
+// more packets at a node than its degree.
+type DeflectionRouter struct {
+	Seed    int64
+	MaxStep int // 0 ⇒ heuristic bound
+}
+
+// Name implements Router.
+func (r *DeflectionRouter) Name() string { return "deflection" }
+
+// Route implements Router.
+func (r *DeflectionRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
+	if g.N() != p.N {
+		return Result{}, fmt.Errorf("routing: graph has %d nodes, problem %d", g.N(), p.N)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	cache := newDistanceCache(g)
+
+	var live []*packet
+	res := Result{}
+	atNode := make(map[int][]*packet)
+	for i, pr := range p.Pairs {
+		if pr.Src == pr.Dst {
+			res.Delivered++
+			continue
+		}
+		if cache.to(pr.Dst)[pr.Src] < 0 {
+			return Result{}, fmt.Errorf("routing: destination %d unreachable from %d", pr.Dst, pr.Src)
+		}
+		pk := &packet{id: i, at: pr.Src, dst: pr.Dst}
+		live = append(live, pk)
+		atNode[pk.at] = append(atNode[pk.at], pk)
+	}
+	for v, pks := range atNode {
+		if len(pks) > g.Degree(v) {
+			return Result{}, fmt.Errorf("routing: node %d starts with %d packets > degree %d (hot-potato invariant)",
+				v, len(pks), g.Degree(v))
+		}
+	}
+	maxStep := r.MaxStep
+	if maxStep == 0 {
+		diam := g.Diameter()
+		if diam < 1 {
+			diam = g.N()
+		}
+		maxStep = 256 * (diam + 1) * (p.H() + 1)
+	}
+
+	for step := 0; len(live) > 0; step++ {
+		if step >= maxStep {
+			return res, fmt.Errorf("routing: deflection step bound %d exceeded with %d live packets", maxStep, len(live))
+		}
+		// Per node: assign each resident packet to a distinct outgoing link.
+		// Farthest-first priority gets first pick of productive links.
+		nodes := make([]int, 0, len(atNode))
+		for v := range atNode {
+			if len(atNode[v]) > 0 {
+				nodes = append(nodes, v)
+			}
+		}
+		sort.Ints(nodes)
+		next := make(map[int][]*packet)
+		for _, v := range nodes {
+			pks := atNode[v]
+			sort.Slice(pks, func(i, j int) bool {
+				di := cache.to(pks[i].dst)[pks[i].at]
+				dj := cache.to(pks[j].dst)[pks[j].at]
+				if di != dj {
+					return di > dj
+				}
+				return pks[i].id < pks[j].id
+			})
+			linkUsed := make(map[int]bool)
+			for _, pk := range pks {
+				dist := cache.to(pk.dst)
+				chosen := -1
+				// Productive link first.
+				for _, w := range g.Neighbors(v) {
+					if !linkUsed[w] && dist[w] == dist[v]-1 {
+						chosen = w
+						break
+					}
+				}
+				if chosen < 0 {
+					// Deflect: random free link.
+					var free []int
+					for _, w := range g.Neighbors(v) {
+						if !linkUsed[w] {
+							free = append(free, w)
+						}
+					}
+					if len(free) == 0 {
+						return res, fmt.Errorf("routing: node %d out of links (invariant violated)", v)
+					}
+					chosen = free[rng.Intn(len(free))]
+				}
+				linkUsed[chosen] = true
+				pk.at = chosen
+				pk.hops++
+				next[chosen] = append(next[chosen], pk)
+			}
+		}
+		// Deliveries.
+		var stillLive []*packet
+		atNode = make(map[int][]*packet)
+		for _, pk := range live {
+			if pk.at == pk.dst {
+				res.Delivered++
+				res.TotalHops += pk.hops
+				continue
+			}
+			stillLive = append(stillLive, pk)
+			atNode[pk.at] = append(atNode[pk.at], pk)
+		}
+		// Receiver-capacity check: each node receives ≤ degree packets
+		// (guaranteed since each in-link delivers at most one).
+		for v, pks := range atNode {
+			if len(pks) > g.Degree(v) {
+				return res, fmt.Errorf("routing: node %d holds %d packets > degree (internal error)", v, len(pks))
+			}
+			if len(pks) > res.MaxQueue {
+				res.MaxQueue = len(pks)
+			}
+		}
+		live = stillLive
+		res.Steps = step + 1
+	}
+	return res, nil
+}
+
+// LowerBoundSteps returns an instance-specific lower bound on the steps any
+// store-and-forward router needs: the maximum of (a) the largest
+// source→destination distance and (b) the bisection-style edge congestion
+// Σ over packets of dist / m (every step moves at most one packet per
+// directed edge, 2m directed edges).
+func LowerBoundSteps(g *graph.Graph, p *Problem) (int, error) {
+	if g.N() != p.N {
+		return 0, fmt.Errorf("routing: size mismatch")
+	}
+	cache := newDistanceCache(g)
+	maxDist := 0
+	totalWork := 0
+	for _, pr := range p.Pairs {
+		d := cache.to(pr.Dst)[pr.Src]
+		if d < 0 {
+			return 0, fmt.Errorf("routing: unreachable pair %v", pr)
+		}
+		if d > maxDist {
+			maxDist = d
+		}
+		totalWork += d
+	}
+	if g.M() == 0 {
+		return maxDist, nil
+	}
+	workBound := (totalWork + 2*g.M() - 1) / (2 * g.M())
+	if workBound > maxDist {
+		return workBound, nil
+	}
+	return maxDist, nil
+}

@@ -1,0 +1,460 @@
+// Package routing implements the store-and-forward packet-routing substrate
+// behind Theorem 2.1: h–h routing problems, online greedy and Valiant
+// routers for arbitrary topologies, dimension-order routing for meshes and
+// tori, offline Beneš/Waksman permutation routing (the O(log m) off-line
+// routing of reference [19]), and the decomposition of h–h relations into
+// permutations (the "O(n/m) permutations known in advance" step of §2).
+//
+// The synchronous model: in each step, each directed link may carry one
+// packet (multi-port), or — matching the paper's single-port processors —
+// each node may send at most one packet and receive at most one packet.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+// Pair is one packet demand: route one packet from Src to Dst.
+type Pair struct {
+	Src, Dst int
+}
+
+// Problem is a multiset of packet demands on a graph of n vertices.
+type Problem struct {
+	N     int
+	Pairs []Pair
+}
+
+// NewProblem validates vertex ranges and returns a Problem.
+func NewProblem(n int, pairs []Pair) (*Problem, error) {
+	for _, p := range pairs {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			return nil, fmt.Errorf("routing: pair %v out of range [0,%d)", p, n)
+		}
+	}
+	return &Problem{N: n, Pairs: append([]Pair(nil), pairs...)}, nil
+}
+
+// H returns the h of the h–h problem: the largest number of packets any
+// single node must send or receive.
+func (p *Problem) H() int {
+	src := make(map[int]int)
+	dst := make(map[int]int)
+	h := 0
+	for _, pr := range p.Pairs {
+		src[pr.Src]++
+		dst[pr.Dst]++
+		if src[pr.Src] > h {
+			h = src[pr.Src]
+		}
+		if dst[pr.Dst] > h {
+			h = dst[pr.Dst]
+		}
+	}
+	return h
+}
+
+// IsPermutation reports whether the problem is a (partial) permutation:
+// every source and every destination occurs at most once.
+func (p *Problem) IsPermutation() bool { return p.H() <= 1 }
+
+// RandomPermutation returns a full random permutation routing problem.
+func RandomPermutation(rng *rand.Rand, n int) *Problem {
+	perm := rng.Perm(n)
+	pairs := make([]Pair, n)
+	for i, d := range perm {
+		pairs[i] = Pair{Src: i, Dst: d}
+	}
+	return &Problem{N: n, Pairs: pairs}
+}
+
+// RandomHH returns a random h–h problem: each node sends exactly h packets,
+// and destinations are arranged so each node receives exactly h (h random
+// permutations superimposed).
+func RandomHH(rng *rand.Rand, n, h int) *Problem {
+	pairs := make([]Pair, 0, n*h)
+	for i := 0; i < h; i++ {
+		perm := rng.Perm(n)
+		for s, d := range perm {
+			pairs = append(pairs, Pair{Src: s, Dst: d})
+		}
+	}
+	return &Problem{N: n, Pairs: pairs}
+}
+
+// Transpose returns the transpose permutation on an N×N mesh indexed
+// row-major: (x, y) → (y, x). A classic hard instance for greedy routing.
+func Transpose(N int) *Problem {
+	n := N * N
+	pairs := make([]Pair, 0, n)
+	for x := 0; x < N; x++ {
+		for y := 0; y < N; y++ {
+			pairs = append(pairs, Pair{Src: x*N + y, Dst: y*N + x})
+		}
+	}
+	return &Problem{N: n, Pairs: pairs}
+}
+
+// BitReversal returns the bit-reversal permutation on 2^d nodes.
+func BitReversal(d int) *Problem {
+	n := 1 << d
+	rev := func(x int) int {
+		r := 0
+		for i := 0; i < d; i++ {
+			if x&(1<<i) != 0 {
+				r |= 1 << (d - 1 - i)
+			}
+		}
+		return r
+	}
+	pairs := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = Pair{Src: i, Dst: rev(i)}
+	}
+	return &Problem{N: n, Pairs: pairs}
+}
+
+// PortMode selects the link model.
+type PortMode int
+
+const (
+	// MultiPort allows one packet per directed edge per step.
+	MultiPort PortMode = iota
+	// SinglePort restricts each node to sending at most one packet and
+	// receiving at most one packet per step — the paper's processor model.
+	SinglePort
+)
+
+// String names the port mode for experiment output.
+func (m PortMode) String() string {
+	switch m {
+	case MultiPort:
+		return "multi-port"
+	case SinglePort:
+		return "single-port"
+	}
+	return fmt.Sprintf("PortMode(%d)", int(m))
+}
+
+// Result reports a completed routing run.
+type Result struct {
+	Steps         int   // steps until the last packet arrived
+	Delivered     int   // number of packets delivered
+	MaxQueue      int   // largest queue length observed at any node
+	TotalHops     int   // sum over packets of hops taken
+	StepsPerPhase []int // optional per-phase breakdown (Valiant, decomposed)
+}
+
+// Router routes a problem on a graph and reports the number of steps used.
+type Router interface {
+	// Route must deliver every packet or return an error.
+	Route(g *graph.Graph, p *Problem) (Result, error)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// NextHopPolicy chooses, per packet, the neighbor to forward to. It is given
+// the packet's current node and destination plus the precomputed distance
+// vector to the destination, and must return a neighbor strictly closer to
+// the destination.
+type NextHopPolicy func(g *graph.Graph, at, dst int, distToDst []int, rng *rand.Rand) int
+
+// MinIndexNextHop picks the smallest-index neighbor that makes progress.
+func MinIndexNextHop(g *graph.Graph, at, dst int, distToDst []int, _ *rand.Rand) int {
+	for _, w := range g.Neighbors(at) {
+		if distToDst[w] == distToDst[at]-1 {
+			return w
+		}
+	}
+	return -1
+}
+
+// RandomNextHop picks a uniformly random neighbor that makes progress,
+// breaking path symmetry (helps congestion on tori).
+func RandomNextHop(g *graph.Graph, at, dst int, distToDst []int, rng *rand.Rand) int {
+	var opts []int
+	for _, w := range g.Neighbors(at) {
+		if distToDst[w] == distToDst[at]-1 {
+			opts = append(opts, w)
+		}
+	}
+	if len(opts) == 0 {
+		return -1
+	}
+	return opts[rng.Intn(len(opts))]
+}
+
+// distanceCache caches BFS distance vectors keyed by destination.
+type distanceCache struct {
+	g    *graph.Graph
+	dist map[int][]int
+}
+
+func newDistanceCache(g *graph.Graph) *distanceCache {
+	return &distanceCache{g: g, dist: make(map[int][]int)}
+}
+
+func (c *distanceCache) to(dst int) []int {
+	if d, ok := c.dist[dst]; ok {
+		return d
+	}
+	d := c.g.BFS(dst)
+	c.dist[dst] = d
+	return d
+}
+
+// packet is the in-flight representation.
+type packet struct {
+	id   int
+	at   int
+	dst  int
+	hops int
+}
+
+// FarthestFirst orders packets for link arbitration: packets with more
+// remaining distance win; ties break by id (deterministic).
+func farthestFirst(cache *distanceCache) func(a, b *packet) bool {
+	return func(a, b *packet) bool {
+		da := cache.to(a.dst)[a.at]
+		db := cache.to(b.dst)[b.at]
+		if da != db {
+			return da > db
+		}
+		return a.id < b.id
+	}
+}
+
+// GreedyRouter forwards every packet along shortest paths, arbitrating link
+// contention farthest-first. Works on any connected topology.
+type GreedyRouter struct {
+	Mode    PortMode
+	Policy  NextHopPolicy // nil ⇒ MinIndexNextHop
+	Seed    int64
+	MaxStep int // safety bound; 0 ⇒ 64·(diameter+1)·(h+1) heuristic
+}
+
+// Name implements Router.
+func (r *GreedyRouter) Name() string {
+	return fmt.Sprintf("greedy(%s)", r.Mode)
+}
+
+// Route implements Router.
+func (r *GreedyRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
+	if g.N() != p.N {
+		return Result{}, fmt.Errorf("routing: graph has %d nodes, problem %d", g.N(), p.N)
+	}
+	policy := r.Policy
+	if policy == nil {
+		policy = MinIndexNextHop
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	cache := newDistanceCache(g)
+
+	var live []*packet
+	res := Result{}
+	for i, pr := range p.Pairs {
+		if pr.Src == pr.Dst {
+			res.Delivered++
+			continue
+		}
+		if cache.to(pr.Dst)[pr.Src] < 0 {
+			return Result{}, fmt.Errorf("routing: destination %d unreachable from %d", pr.Dst, pr.Src)
+		}
+		live = append(live, &packet{id: i, at: pr.Src, dst: pr.Dst})
+	}
+	maxStep := r.MaxStep
+	if maxStep == 0 {
+		diam := 1
+		for _, pk := range live {
+			if d := cache.to(pk.dst)[pk.at]; d > diam {
+				diam = d
+			}
+		}
+		maxStep = 64 * (diam + 1) * (p.H() + 1)
+		if maxStep < 1024 {
+			maxStep = 1024
+		}
+	}
+	less := farthestFirst(cache)
+
+	queues := make(map[int]int) // node → queued packet count, for stats
+	for step := 0; len(live) > 0; step++ {
+		if step >= maxStep {
+			return res, fmt.Errorf("routing: step bound %d exceeded with %d packets undelivered", maxStep, len(live))
+		}
+		// Candidate moves: (u→v) grouped; one winner per directed edge.
+		type key struct{ u, v int }
+		cand := make(map[key]*packet)
+		for _, pk := range live {
+			v := policy(g, pk.at, pk.dst, cache.to(pk.dst), rng)
+			if v < 0 {
+				return res, fmt.Errorf("routing: policy returned no progress from %d toward %d", pk.at, pk.dst)
+			}
+			k := key{pk.at, v}
+			if cur, ok := cand[k]; !ok || less(pk, cur) {
+				cand[k] = pk
+			}
+		}
+		// Deterministic iteration order over winners.
+		keys := make([]key, 0, len(cand))
+		for k := range cand {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].u != keys[j].u {
+				return keys[i].u < keys[j].u
+			}
+			return keys[i].v < keys[j].v
+		})
+		sendUsed := make(map[int]bool)
+		recvUsed := make(map[int]bool)
+		moved := make(map[int]bool)
+		for _, k := range keys {
+			pk := cand[k]
+			if r.Mode == SinglePort {
+				if sendUsed[k.u] || recvUsed[k.v] {
+					continue
+				}
+				sendUsed[k.u] = true
+				recvUsed[k.v] = true
+			}
+			pk.at = k.v
+			pk.hops++
+			moved[pk.id] = true
+		}
+		// Deliveries and stats.
+		var next []*packet
+		clearMap(queues)
+		for _, pk := range live {
+			if pk.at == pk.dst {
+				res.Delivered++
+				res.TotalHops += pk.hops
+				continue
+			}
+			queues[pk.at]++
+			next = append(next, pk)
+		}
+		for _, q := range queues {
+			if q > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		}
+		live = next
+		res.Steps = step + 1
+	}
+	return res, nil
+}
+
+func clearMap(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// ValiantRouter routes in two phases: every packet first goes to a uniformly
+// random intermediate node, then to its true destination (Valiant's trick),
+// each phase with the greedy router. Defeats adversarial permutations.
+type ValiantRouter struct {
+	Mode PortMode
+	Seed int64
+}
+
+// Name implements Router.
+func (r *ValiantRouter) Name() string { return fmt.Sprintf("valiant(%s)", r.Mode) }
+
+// Route implements Router.
+func (r *ValiantRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	inter := make([]int, len(p.Pairs))
+	phase1 := make([]Pair, len(p.Pairs))
+	phase2 := make([]Pair, len(p.Pairs))
+	for i, pr := range p.Pairs {
+		inter[i] = rng.Intn(p.N)
+		phase1[i] = Pair{Src: pr.Src, Dst: inter[i]}
+		phase2[i] = Pair{Src: inter[i], Dst: pr.Dst}
+	}
+	sub := &GreedyRouter{Mode: r.Mode, Policy: RandomNextHop, Seed: r.Seed + 1}
+	res1, err := sub.Route(g, &Problem{N: p.N, Pairs: phase1})
+	if err != nil {
+		return Result{}, fmt.Errorf("routing: valiant phase 1: %w", err)
+	}
+	sub.Seed = r.Seed + 2
+	res2, err := sub.Route(g, &Problem{N: p.N, Pairs: phase2})
+	if err != nil {
+		return Result{}, fmt.Errorf("routing: valiant phase 2: %w", err)
+	}
+	out := Result{
+		Steps:         res1.Steps + res2.Steps,
+		Delivered:     res2.Delivered,
+		TotalHops:     res1.TotalHops + res2.TotalHops,
+		StepsPerPhase: []int{res1.Steps, res2.Steps},
+	}
+	if res1.MaxQueue > res2.MaxQueue {
+		out.MaxQueue = res1.MaxQueue
+	} else {
+		out.MaxQueue = res2.MaxQueue
+	}
+	return out, nil
+}
+
+// CachedRouter memoizes results per problem: the §2 observation that a
+// bounded-degree guest's per-step relations "depend on G only, and,
+// therefore, are known in advance" — the schedule is computed once and its
+// cost replayed on repeats. Wrap any deterministic Router; problems are
+// keyed by their full pair multiset.
+type CachedRouter struct {
+	Inner Router
+	cache map[string]Result
+}
+
+// Name implements Router.
+func (r *CachedRouter) Name() string { return "cached(" + r.Inner.Name() + ")" }
+
+// Route implements Router.
+func (r *CachedRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
+	key := problemKey(g, p)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := r.Inner.Route(g, p)
+	if err != nil {
+		return res, err
+	}
+	if r.cache == nil {
+		r.cache = make(map[string]Result)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// problemKey folds the graph identity and the sorted pair multiset into a
+// string key.
+func problemKey(g *graph.Graph, p *Problem) string {
+	pairs := append([]Pair(nil), p.Pairs...)
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Src != pairs[b].Src {
+			return pairs[a].Src < pairs[b].Src
+		}
+		return pairs[a].Dst < pairs[b].Dst
+	})
+	var b []byte
+	b = appendUvarint(b, uint64(g.Hash()))
+	b = appendUvarint(b, uint64(p.N))
+	for _, pr := range pairs {
+		b = appendUvarint(b, uint64(pr.Src))
+		b = appendUvarint(b, uint64(pr.Dst))
+	}
+	return string(b)
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/topology"
+)
+
+func ring(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewComputationValidation(t *testing.T) {
+	g := ring(t, 4)
+	if _, err := NewComputation(g, make([]State, 3), func(int, State, []State) State { return 0 }, "x"); err == nil {
+		t.Error("wrong init length accepted")
+	}
+	if _, err := NewComputation(g, make([]State, 4), nil, "x"); err == nil {
+		t.Error("nil transition accepted")
+	}
+}
+
+func TestRunNegativeSteps(t *testing.T) {
+	c := Broadcast(ring(t, 4), 0)
+	if _, err := c.Run(-1); err == nil {
+		t.Error("negative T accepted")
+	}
+}
+
+func TestBroadcastCompletesAtEccentricity(t *testing.T) {
+	g := ring(t, 10)
+	c := Broadcast(g, 0)
+	ecc, _ := g.Eccentricity(0)
+	tr, err := c.Run(ecc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tr.Final() {
+		if s != 1 {
+			t.Errorf("processor %d not reached after %d steps", i, ecc)
+		}
+	}
+	// One step earlier, the antipode is still 0.
+	tr2, err := c.Run(ecc - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := false
+	for _, s := range tr2.Final() {
+		if s == 0 {
+			zero = true
+		}
+	}
+	if !zero {
+		t.Error("broadcast finished before eccentricity steps")
+	}
+}
+
+func TestMaxConsensus(t *testing.T) {
+	g := ring(t, 9)
+	init := make([]State, 9)
+	init[4] = 99
+	init[7] = 42
+	c, err := MaxConsensus(g, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(g.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tr.Final() {
+		if s != 99 {
+			t.Errorf("processor %d = %d, want 99", i, s)
+		}
+	}
+}
+
+func TestTokenRing(t *testing.T) {
+	n := 8
+	c := TokenRing(ring(t, n))
+	tr, err := c.Run(2 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= 2*n; tt++ {
+		for i := 0; i < n; i++ {
+			want := State(0)
+			if i == tt%n {
+				want = 1
+			}
+			if tr.At(i, tt) != want {
+				t.Fatalf("time %d: processor %d = %d, want %d", tt, i, tr.At(i, tt), want)
+			}
+		}
+	}
+}
+
+func TestJacobiSumCountsWalks(t *testing.T) {
+	// On K3 with unit init, state after t steps = number of length-≤t walks:
+	// each step multiplies total sum by 3 (self + 2 neighbors).
+	g, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := JacobiSum(g, []State{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := State(81) // 3^4
+	for i, s := range tr.Final() {
+		if s != want {
+			t.Errorf("processor %d = %d, want %d", i, s, want)
+		}
+	}
+}
+
+func TestMixModDeterministicAndSensitive(t *testing.T) {
+	g := ring(t, 12)
+	c1 := MixMod(g, rand.New(rand.NewSource(1)))
+	c2 := MixMod(g, rand.New(rand.NewSource(1)))
+	tr1, err := c1.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := c2.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Checksum() != tr2.Checksum() {
+		t.Error("same seed gave different traces")
+	}
+	c3 := MixMod(g, rand.New(rand.NewSource(2)))
+	tr3, err := c3.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Checksum() == tr3.Checksum() {
+		t.Error("different seeds gave equal checksums")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	g := ring(t, 5)
+	c := Broadcast(g, 2)
+	tr, err := c.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.T() != 3 || tr.N() != 5 {
+		t.Errorf("T=%d N=%d", tr.T(), tr.N())
+	}
+	if tr.At(2, 0) != 1 {
+		t.Error("initial marker missing")
+	}
+	empty := &Trace{}
+	if empty.N() != 0 {
+		t.Error("empty trace N != 0")
+	}
+}
+
+func TestVerifyTraceAcceptsRun(t *testing.T) {
+	g := ring(t, 16)
+	c := MixMod(g, rand.New(rand.NewSource(3)))
+	tr, err := c.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTrace(tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyTraceRejectsCorruption(t *testing.T) {
+	g := ring(t, 8)
+	c := MixMod(g, rand.New(rand.NewSource(4)))
+	tr, err := c.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.States[3][2] ^= 1
+	if err := c.VerifyTrace(tr); err == nil {
+		t.Error("corrupted trace accepted")
+	}
+	// Corrupted initial state.
+	tr2, _ := c.Run(2)
+	tr2.States[0][0] ^= 1
+	if err := c.VerifyTrace(tr2); err == nil {
+		t.Error("corrupted init accepted")
+	}
+	// Wrong width.
+	bad := &Trace{States: [][]State{make([]State, 7)}}
+	if err := c.VerifyTrace(bad); err == nil {
+		t.Error("wrong-width trace accepted")
+	}
+}
+
+func TestRandomInit(t *testing.T) {
+	init := RandomInit(32, rand.New(rand.NewSource(5)))
+	if len(init) != 32 {
+		t.Fatalf("len = %d", len(init))
+	}
+	allZero := true
+	for _, s := range init {
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("random init all zero")
+	}
+}
+
+func TestBFSDistanceWorkload(t *testing.T) {
+	g, err := topology.Torus(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BFSDistance(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, _ := g.Eccentricity(0)
+	tr, err := c.Run(ecc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.BFS(0)
+	for i, s := range tr.Final() {
+		if int(s) != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+	if _, err := BFSDistance(g, -1); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestPrefixSumRingWorkload(t *testing.T) {
+	n := 8
+	g := ring(t, n)
+	values := make([]State, n)
+	for i := range values {
+		values[i] = State(i + 1)
+	}
+	c, err := PrefixSumRing(g, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	tr, err := c.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := uint32(0)
+		for j := 0; j <= k; j++ {
+			want += uint32(values[(i-j+n)%n])
+		}
+		if got := PrefixSumAt(tr.At(i, k)); got != want {
+			t.Errorf("prefix sum at %d after %d steps = %d, want %d", i, k, got, want)
+		}
+	}
+	// Full rotation: every processor holds the total.
+	trFull, err := c.Run(n - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint32(0)
+	for _, v := range values {
+		total += uint32(v)
+	}
+	for i := 0; i < n; i++ {
+		if got := PrefixSumAt(trFull.At(i, n-1)); got != total {
+			t.Errorf("total at %d = %d, want %d", i, got, total)
+		}
+	}
+	// Guards.
+	if _, err := PrefixSumRing(g, values[:3]); err == nil {
+		t.Error("short values accepted")
+	}
+	star, err := topology.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrefixSumRing(star, make([]State, 5)); err == nil {
+		t.Error("non-ring guest accepted")
+	}
+	big := make([]State, n)
+	big[0] = State(1) << 40
+	if _, err := PrefixSumRing(g, big); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestCellularAutomatonWorkload(t *testing.T) {
+	g, err := topology.Torus(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]State, 25)
+	init[12] = 1
+	// Rule: alive iff count ≥ 1 (flood fill = broadcast).
+	rule := []State{0, 1, 1, 1, 1, 1}
+	c, err := CellularAutomaton(g, init, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, _ := g.Eccentricity(12)
+	tr, err := c.Run(ecc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tr.Final() {
+		if s != 1 {
+			t.Errorf("cell %d dead after flood", i)
+		}
+	}
+	// Guards.
+	if _, err := CellularAutomaton(g, init, nil); err == nil {
+		t.Error("empty rule accepted")
+	}
+	bad := make([]State, 25)
+	bad[0] = 7
+	if _, err := CellularAutomaton(g, bad, rule); err == nil {
+		t.Error("non-binary init accepted")
+	}
+}
+
+func TestCAWorkloadUnderSimulation(t *testing.T) {
+	// The CA workload survives universal simulation (cross-package sanity
+	// lives in internal/universal; here we just re-verify trace legality).
+	g, err := topology.Torus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]State, 16)
+	init[5] = 1
+	c, err := CellularAutomaton(g, init, []State{0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTrace(tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	g, err := topology.Torus(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MixMod(g, rand.New(rand.NewSource(41)))
+	serial, err := c.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 200} {
+		par, err := c.RunParallel(6, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Checksum() != serial.Checksum() {
+			t.Errorf("workers=%d: parallel trace differs", workers)
+		}
+	}
+	if _, err := c.RunParallel(-1, 2); err == nil {
+		t.Error("negative T accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// Additional guest workloads: distance computation, prefix sums, and
+// general cellular automata — the program shapes the paper's introduction
+// motivates running on a universal machine.
+
+// BFSDistance computes single-source distances by synchronous relaxation:
+// state = current distance estimate (Inf = 2^62), source starts at 0; after
+// ecc(source) steps every state equals the true BFS distance.
+func BFSDistance(g *graph.Graph, source int) (*Computation, error) {
+	const inf = State(1) << 62
+	init := make([]State, g.N())
+	for i := range init {
+		init[i] = inf
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("sim: source %d out of range", source)
+	}
+	init[source] = 0
+	step := func(_ int, self State, neighbors []State) State {
+		best := self
+		for _, s := range neighbors {
+			if s+1 < best {
+				best = s + 1
+			}
+		}
+		return best
+	}
+	return NewComputation(g, init, step, "bfs-distance")
+}
+
+// PrefixSumRing computes prefix sums on a ring guest by the standard
+// doubling-free systolic scheme: processor i accumulates the value of its
+// predecessor each step, so after k steps it holds Σ_{j=i−k}^{i} v_j. After
+// n−1 steps processor i holds the full rotation sum anchored at i+1 —
+// checkable in closed form.
+func PrefixSumRing(g *graph.Graph, values []State) (*Computation, error) {
+	n := g.N()
+	if len(values) != n {
+		return nil, fmt.Errorf("sim: %d values for %d processors", len(values), n)
+	}
+	if !g.IsRegular(2) {
+		return nil, fmt.Errorf("sim: prefix-sum workload needs a ring guest")
+	}
+	// State packs (accumulated sum, window start contribution) — we keep it
+	// simple: state = accumulated sum, shifting in the predecessor's
+	// ORIGINAL value is impossible without carrying it, so each state is a
+	// pair packed into 64 bits: low 32 = original value, high 32 = sum.
+	pack := func(orig, sum uint32) State { return State(uint64(sum)<<32 | uint64(orig)) }
+	init := make([]State, n)
+	for i, v := range values {
+		if uint64(v) > 0xffffffff {
+			return nil, fmt.Errorf("sim: value %d exceeds 32 bits", v)
+		}
+		init[i] = pack(uint32(v), uint32(v))
+	}
+	step := func(i int, self State, neighbors []State) State {
+		// The ring adjacency of i is sorted; find the predecessor (i−1+n)%n.
+		pred := (i - 1 + n) % n
+		var predState State
+		for k, w := range g.Neighbors(i) {
+			if w == pred {
+				predState = neighbors[k]
+			}
+		}
+		// Shift: the predecessor's accumulated sum after t steps covers its
+		// previous window; adding it would double-count. The systolic trick:
+		// carry a "window sum" that grows by the predecessor's window sum of
+		// the previous round is only correct for doubling schemes; here we
+		// add the predecessor's ORIGINAL value shifted along the ring, which
+		// requires the original to travel. We move the original value one
+		// hop per step through the low word and accumulate it.
+		travelling := uint32(uint64(predState) & 0xffffffff)
+		sum := uint32(uint64(self)>>32) + travelling
+		return pack(travelling, sum)
+	}
+	return NewComputation(g, init, step, "prefix-sum-ring")
+}
+
+// PrefixSumAt extracts the accumulated sum from a PrefixSumRing state.
+func PrefixSumAt(s State) uint32 { return uint32(uint64(s) >> 32) }
+
+// CellularAutomaton builds a totalistic binary CA on any guest: the next
+// state is rule[min(count, len(rule)-1)] where count = self + Σ neighbors.
+// rule is a lookup table over the closed-neighborhood live count.
+func CellularAutomaton(g *graph.Graph, init []State, rule []State) (*Computation, error) {
+	if len(rule) == 0 {
+		return nil, fmt.Errorf("sim: empty rule table")
+	}
+	for _, s := range init {
+		if s > 1 {
+			return nil, fmt.Errorf("sim: CA states must be 0/1")
+		}
+	}
+	table := append([]State(nil), rule...)
+	step := func(_ int, self State, neighbors []State) State {
+		count := int(self)
+		for _, s := range neighbors {
+			count += int(s)
+		}
+		if count >= len(table) {
+			count = len(table) - 1
+		}
+		return table[count]
+	}
+	return NewComputation(g, init, step, "cellular-automaton")
+}

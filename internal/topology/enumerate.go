@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// EnumerateRegularGraphs returns every labeled simple c-regular graph on n
+// vertices, by the same backtracking as the exact counter (so the two are
+// independent implementations that must agree — tested). The limit guards
+// against accidental exponential blowups; enumeration fails if the count
+// would exceed it.
+func EnumerateRegularGraphs(n, c, limit int) ([]*graph.Graph, error) {
+	if n < 0 || c < 0 {
+		return nil, fmt.Errorf("topology: negative parameters")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if c >= n {
+		return nil, nil // no simple c-regular graph exists
+	}
+	if n > 12 {
+		return nil, fmt.Errorf("topology: enumeration infeasible for n=%d", n)
+	}
+	if n*c%2 != 0 {
+		return nil, nil
+	}
+	if limit <= 0 {
+		limit = 100000
+	}
+	residual := make([]int, n)
+	for i := range residual {
+		residual[i] = c
+	}
+	var out []*graph.Graph
+	var edges []graph.Edge
+	var rec func(v int) error
+	rec = func(v int) error {
+		for v < n && residual[v] == 0 {
+			v++
+		}
+		if v == n {
+			g, err := graph.FromEdges(n, edges)
+			if err != nil {
+				return err
+			}
+			out = append(out, g)
+			if len(out) > limit {
+				return fmt.Errorf("topology: enumeration exceeds limit %d", limit)
+			}
+			return nil
+		}
+		need := residual[v]
+		var candidates []int
+		for u := v + 1; u < n; u++ {
+			if residual[u] > 0 {
+				candidates = append(candidates, u)
+			}
+		}
+		var choose func(idx, picked int) error
+		choose = func(idx, picked int) error {
+			if picked == need {
+				return rec(v + 1)
+			}
+			if len(candidates)-idx < need-picked {
+				return nil
+			}
+			u := candidates[idx]
+			// Take u.
+			residual[u]--
+			residual[v]--
+			edges = append(edges, graph.NewEdge(v, u))
+			if err := choose(idx+1, picked+1); err != nil {
+				return err
+			}
+			edges = edges[:len(edges)-1]
+			residual[v]++
+			residual[u]++
+			// Skip u.
+			return choose(idx+1, picked)
+		}
+		return choose(0, 0)
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

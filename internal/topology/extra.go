@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// Additional members of the paper's "famous constant-degree networks"
+// catalog (§1): the mesh of trees, the X-tree, 3-dimensional tori, and the
+// Kautz graph.
+
+// MeshOfTrees returns the N×N mesh of trees: an N×N grid of leaves, a
+// complete binary tree over every row and every column (internal tree nodes
+// are extra vertices). N must be a power of two. Degree ≤ 6 at the leaves
+// corners... precisely: leaves have degree 2 (their row- and column-tree
+// parents), internal tree nodes degree ≤ 3. Size N² + 2N(N−1).
+func MeshOfTrees(N int) (*graph.Graph, error) {
+	if N < 2 || !IsPowerOfTwo(N) {
+		return nil, fmt.Errorf("topology: mesh of trees needs power-of-two side ≥ 2, got %d", N)
+	}
+	// Vertex layout: leaves [0, N²); then for each row r: N−1 internal
+	// nodes; then for each column c: N−1 internal nodes.
+	leaves := N * N
+	rowBase := leaves
+	perTree := N - 1
+	colBase := rowBase + N*perTree
+	total := colBase + N*perTree
+	b := graph.NewBuilder(total)
+	// A complete binary tree over positions 0..N-1: internal nodes indexed
+	// 1..N-1 heap-style (node i has children 2i, 2i+1; nodes N..2N-1 are the
+	// leaves).
+	link := func(base int, leafOf func(pos int) int) {
+		for i := 1; i < N; i++ {
+			node := base + i - 1
+			for _, child := range []int{2 * i, 2*i + 1} {
+				var cv int
+				if child >= N {
+					cv = leafOf(child - N)
+				} else {
+					cv = base + child - 1
+				}
+				b.MustAddEdge(node, cv)
+			}
+		}
+	}
+	for r := 0; r < N; r++ {
+		link(rowBase+r*perTree, func(pos int) int { return r*N + pos })
+	}
+	for c := 0; c < N; c++ {
+		link(colBase+c*perTree, func(pos int) int { return pos*N + c })
+	}
+	return b.Build(), nil
+}
+
+// XTree returns the X-tree of depth d: the complete binary tree plus edges
+// joining consecutive nodes of each level. Degree ≤ 5.
+func XTree(depth int) (*graph.Graph, error) {
+	if depth < 1 || depth > 24 {
+		return nil, fmt.Errorf("topology: X-tree depth %d out of range [1,24]", depth)
+	}
+	n := (1 << (depth + 1)) - 1
+	b := graph.NewBuilder(n)
+	for i := 0; 2*i+2 < n; i++ {
+		b.MustAddEdge(i, 2*i+1)
+		b.MustAddEdge(i, 2*i+2)
+	}
+	// Level l spans indices [2^l − 1, 2^{l+1} − 2].
+	for l := 1; l <= depth; l++ {
+		lo := (1 << l) - 1
+		hi := (1 << (l + 1)) - 2
+		for i := lo; i < hi; i++ {
+			b.MustAddEdge(i, i+1)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Torus3D returns the L×L×L torus (6-regular for L ≥ 3).
+func Torus3D(L int) (*graph.Graph, error) {
+	if L < 3 {
+		return nil, fmt.Errorf("topology: 3D torus needs side ≥ 3, got %d", L)
+	}
+	n := L * L * L
+	idx := func(x, y, z int) int {
+		return ((x%L+L)%L)*L*L + ((y%L+L)%L)*L + (z%L+L)%L
+	}
+	b := graph.NewBuilder(n)
+	for x := 0; x < L; x++ {
+		for y := 0; y < L; y++ {
+			for z := 0; z < L; z++ {
+				v := idx(x, y, z)
+				b.MustAddEdge(v, idx(x+1, y, z))
+				b.MustAddEdge(v, idx(x, y+1, z))
+				b.MustAddEdge(v, idx(x, y, z+1))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Kautz returns the Kautz graph K(b, d): vertices are the strings of length
+// d+1 over an alphabet of b+1 symbols with no two consecutive symbols
+// equal; v is adjacent to its out-neighbors (shift left, append symbol).
+// (b+1)·b^d vertices; degree ≤ 2b as an undirected simple graph; diameter
+// at most d+1 (one shift per symbol of the target string).
+func Kautz(base, d int) (*graph.Graph, error) {
+	if base < 2 || d < 1 {
+		return nil, fmt.Errorf("topology: Kautz needs base ≥ 2 and d ≥ 1")
+	}
+	n := (base + 1) * pow(base, d)
+	if n > 1<<22 {
+		return nil, fmt.Errorf("topology: Kautz graph too large (%d vertices)", n)
+	}
+	// Encode a string s₀s₁…s_d (s_i ∈ [0, base], s_i ≠ s_{i+1}) as an
+	// integer: s₀ has base+1 choices, each later symbol base choices
+	// (relative rank among the symbols ≠ previous).
+	encode := func(syms []int) int {
+		code := syms[0]
+		prev := syms[0]
+		for _, s := range syms[1:] {
+			r := s
+			if s > prev {
+				r--
+			}
+			code = code*base + r
+			prev = s
+		}
+		return code
+	}
+	b := graph.NewBuilder(n)
+	// Enumerate all strings via DFS.
+	var dfs func(syms []int)
+	dfs = func(syms []int) {
+		if len(syms) == d+1 {
+			v := encode(syms)
+			last := syms[len(syms)-1]
+			for s := 0; s <= base; s++ {
+				if s == last {
+					continue
+				}
+				next := append(append([]int(nil), syms[1:]...), s)
+				w := encode(next)
+				if v != w {
+					b.MustAddEdge(v, w)
+				}
+			}
+			return
+		}
+		for s := 0; s <= base; s++ {
+			if len(syms) > 0 && syms[len(syms)-1] == s {
+				continue
+			}
+			dfs(append(syms, s))
+		}
+	}
+	dfs(nil)
+	return b.Build(), nil
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

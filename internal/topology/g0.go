@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"universalnet/internal/graph"
+)
+
+// G0 is the fixed spreading subgraph of Definition 3.9: the union of a
+// (2a, n)-multitorus and a 4-regular expander on the same vertex set, with
+// a = ⌈√(log m)⌉ rounded to satisfy the divisibility constraints. Every
+// vertex has degree at most 12.
+type G0 struct {
+	Graph      *graph.Graph // the union (≤ 12-regular)
+	Multitorus *graph.Graph // E₁: the (BlockSide, n)-multitorus
+	Expander   *graph.Graph // E₂: the 4-regular expander overlay
+	Blocks     []Block      // the partition into (BlockSide²)-tori 𝒯_1..𝒯_h
+	N          int          // number of vertices n
+	A          int          // the paper's a (block side is 2a)
+	BlockSide  int          // 2a, the side of each partition torus
+}
+
+// H returns the number of partition tori h = n / (2a)².
+func (g *G0) H() int { return len(g.Blocks) }
+
+// G0BlockSide returns the block side 2a the paper prescribes for a host of
+// size m: a = ⌈√(log₂ m)⌉, block side 2a, minimum 4.
+func G0BlockSide(m int) int {
+	if m < 2 {
+		return 4
+	}
+	a := int(math.Ceil(math.Sqrt(math.Log2(float64(m)))))
+	if a < 2 {
+		a = 2
+	}
+	return 2 * a
+}
+
+// ValidG0Size reports whether n is a valid size for a G₀ with the given
+// block side: n must be a perfect square whose side is divisible by the
+// block side, and n ≥ 4·blockSide² (so there are at least four blocks).
+func ValidG0Size(n, blockSide int) bool {
+	N, err := SideLength(n)
+	if err != nil {
+		return false
+	}
+	return blockSide >= 3 && N%blockSide == 0 && N/blockSide >= 2
+}
+
+// NextValidG0Size returns the smallest n' ≥ n that satisfies ValidG0Size for
+// the given block side: n' = (⌈√n / blockSide⌉ · blockSide)², at least
+// (2·blockSide)².
+func NextValidG0Size(n, blockSide int) int {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 2*blockSide {
+		side = 2 * blockSide
+	}
+	if r := side % blockSide; r != 0 {
+		side += blockSide - r
+	}
+	return side * side
+}
+
+// BuildG0 constructs G₀ for n guest processors and a host of size m, using
+// the deterministic seed for the expander overlay. It returns an error when
+// n violates the divisibility constraints (use NextValidG0Size to fix n up).
+func BuildG0(n, m int, seed int64) (*G0, error) {
+	blockSide := G0BlockSide(m)
+	return BuildG0WithBlockSide(n, blockSide, seed)
+}
+
+// BuildG0WithBlockSide is BuildG0 with an explicit block side (2a), for
+// experiments that sweep the block size independently of m.
+func BuildG0WithBlockSide(n, blockSide int, seed int64) (*G0, error) {
+	if !ValidG0Size(n, blockSide) {
+		return nil, fmt.Errorf("topology: n=%d invalid for block side %d (need square side divisible by %d, ≥ %d)",
+			n, blockSide, blockSide, 2*blockSide)
+	}
+	mt, err := Multitorus(blockSide, n)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := TorusPartition(blockSide, n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// 4-regular expander overlay, edge-disjoint from the multitorus so the
+	// degree bound 8 + 4 = 12 holds exactly.
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 4
+	}
+	exp, err := RandomWithDegreeSequence(rng, deg, mt)
+	if err != nil {
+		return nil, fmt.Errorf("topology: expander overlay generation: %w", err)
+	}
+	return &G0{
+		Graph:      graph.Union(mt, exp),
+		Multitorus: mt,
+		Expander:   exp,
+		Blocks:     blocks,
+		N:          n,
+		A:          blockSide / 2,
+		BlockSide:  blockSide,
+	}, nil
+}
+
+// SampleGuest draws a random guest G ∈ 𝒰[G₀]: a c-regular graph on the same
+// n vertices that contains G₀ as a subgraph. The residual degrees
+// c − deg_{G₀}(v) are realized edge-disjointly from G₀ (Proposition 3.6(b)'s
+// residual graph G' = G \ G₀). c must satisfy c ≥ maxdeg(G₀) and parity.
+func (g *G0) SampleGuest(rng *rand.Rand, c int) (*graph.Graph, error) {
+	if c < g.Graph.MaxDegree() {
+		return nil, fmt.Errorf("topology: c=%d below G₀ max degree %d", c, g.Graph.MaxDegree())
+	}
+	residual := make([]int, g.N)
+	total := 0
+	for v := 0; v < g.N; v++ {
+		residual[v] = c - g.Graph.Degree(v)
+		total += residual[v]
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("topology: residual degree sum %d odd for c=%d", total, c)
+	}
+	rg, err := RandomWithDegreeSequence(rng, residual, g.Graph)
+	if err != nil {
+		return nil, err
+	}
+	guest := graph.Union(g.Graph, rg)
+	if !guest.IsRegular(c) {
+		return nil, fmt.Errorf("topology: sampled guest not %d-regular", c)
+	}
+	return guest, nil
+}
+
+// Validate checks the structural invariants of Definition 3.9: block
+// partition covers all vertices exactly once, the multitorus and expander are
+// edge-disjoint, degree bounds hold, and each block induces a torus in the
+// multitorus (4-regular induced subgraph).
+func (g *G0) Validate() error {
+	if err := g.Graph.Validate(); err != nil {
+		return err
+	}
+	if got := g.Graph.MaxDegree(); got > 12 {
+		return fmt.Errorf("topology: G₀ max degree %d > 12", got)
+	}
+	if !g.Expander.IsRegular(4) {
+		return fmt.Errorf("topology: expander overlay not 4-regular")
+	}
+	for _, e := range g.Expander.Edges() {
+		if g.Multitorus.HasEdge(e.U, e.V) {
+			return fmt.Errorf("topology: expander edge %v overlaps multitorus", e)
+		}
+	}
+	seen := make([]bool, g.N)
+	for bi := range g.Blocks {
+		bl := &g.Blocks[bi]
+		if len(bl.Vertices) != g.BlockSide*g.BlockSide {
+			return fmt.Errorf("topology: block %d has %d vertices, want %d", bi, len(bl.Vertices), g.BlockSide*g.BlockSide)
+		}
+		for _, v := range bl.Vertices {
+			if seen[v] {
+				return fmt.Errorf("topology: vertex %d in two blocks", v)
+			}
+			seen[v] = true
+		}
+		sub, _, err := g.Multitorus.InducedSubgraph(bl.Vertices)
+		if err != nil {
+			return err
+		}
+		if !sub.IsRegular(4) {
+			return fmt.Errorf("topology: block %d does not induce a 4-regular torus", bi)
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			return fmt.Errorf("topology: vertex %d in no block", v)
+		}
+	}
+	return nil
+}

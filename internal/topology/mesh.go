@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// MeshCoord converts a vertex index of an N×N mesh/torus into its (x, y)
+// coordinate, row-major: index = x·N + y.
+func MeshCoord(N, index int) (x, y int) { return index / N, index % N }
+
+// MeshIndex is the inverse of MeshCoord.
+func MeshIndex(N, x, y int) int { return x*N + y }
+
+// Mesh returns the √n × √n mesh (Definition 3.8). n must be a perfect square.
+func Mesh(n int) (*graph.Graph, error) {
+	N, err := SideLength(n)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for x := 0; x < N; x++ {
+		for y := 0; y < N; y++ {
+			if x+1 < N {
+				b.MustAddEdge(MeshIndex(N, x, y), MeshIndex(N, x+1, y))
+			}
+			if y+1 < N {
+				b.MustAddEdge(MeshIndex(N, x, y), MeshIndex(N, x, y+1))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Torus returns the √n × √n torus: the mesh plus row and column wraparound
+// edges (Definition 3.8). n must be a perfect square with √n ≥ 3.
+func Torus(n int) (*graph.Graph, error) {
+	N, err := SideLength(n)
+	if err != nil {
+		return nil, err
+	}
+	if N < 3 {
+		return nil, fmt.Errorf("topology: torus needs side ≥ 3, got %d", N)
+	}
+	b := graph.NewBuilder(n)
+	for x := 0; x < N; x++ {
+		for y := 0; y < N; y++ {
+			b.MustAddEdge(MeshIndex(N, x, y), MeshIndex(N, (x+1)%N, y))
+			b.MustAddEdge(MeshIndex(N, x, y), MeshIndex(N, x, (y+1)%N))
+		}
+	}
+	return b.Build(), nil
+}
+
+// Multitorus returns the (a, n)-multitorus of Definition 3.8: the √n × √n
+// torus in which each aligned a×a block is extended by wraparound edges to
+// form an a×a torus. Requirements: n a perfect square, a ≥ 3, and a | √n.
+// Every vertex has degree at most 8 (4 torus edges + up to 2 block wrap
+// edges per dimension).
+func Multitorus(a, n int) (*graph.Graph, error) {
+	N, err := SideLength(n)
+	if err != nil {
+		return nil, err
+	}
+	if a < 3 {
+		return nil, fmt.Errorf("topology: multitorus block side %d < 3", a)
+	}
+	if N%a != 0 {
+		return nil, fmt.Errorf("topology: block side %d does not divide torus side %d", a, N)
+	}
+	t, err := Torus(n)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range t.Edges() {
+		b.MustAddEdge(e.U, e.V)
+	}
+	// Block wraparound edges: within each aligned a×a block, join the first
+	// and last row, and the first and last column, of the block.
+	for bx := 0; bx < N; bx += a {
+		for by := 0; by < N; by += a {
+			for k := 0; k < a; k++ {
+				b.MustAddEdge(MeshIndex(N, bx, by+k), MeshIndex(N, bx+a-1, by+k))
+				b.MustAddEdge(MeshIndex(N, bx+k, by), MeshIndex(N, bx+k, by+a-1))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Block identifies one aligned a×a block (sub-torus) of an N×N multitorus:
+// the torus 𝒯_j of the paper's partition. Vertices lists the member vertex
+// indices in row-major block order.
+type Block struct {
+	A        int   // block side length
+	N        int   // torus side length
+	BX, BY   int   // top-left corner coordinates (multiples of A)
+	Vertices []int // the A² member vertices, row-major within the block
+}
+
+// Index returns the vertex at block-relative coordinate (dx, dy),
+// 0 ≤ dx, dy < A.
+func (bl *Block) Index(dx, dy int) int {
+	return MeshIndex(bl.N, bl.BX+dx, bl.BY+dy)
+}
+
+// Contains reports whether vertex v lies in the block.
+func (bl *Block) Contains(v int) bool {
+	x, y := MeshCoord(bl.N, v)
+	return x >= bl.BX && x < bl.BX+bl.A && y >= bl.BY && y < bl.BY+bl.A
+}
+
+// Rel returns the block-relative coordinates of v; v must be in the block.
+func (bl *Block) Rel(v int) (dx, dy int) {
+	x, y := MeshCoord(bl.N, v)
+	dx, dy = x-bl.BX, y-bl.BY
+	if dx < 0 || dx >= bl.A || dy < 0 || dy >= bl.A {
+		panic(fmt.Sprintf("topology: vertex %d not in block (%d,%d)", v, bl.BX, bl.BY))
+	}
+	return dx, dy
+}
+
+// TorusPartition partitions the vertices of an (a, n)-multitorus into its
+// n/a² aligned a×a sub-tori 𝒯_1, …, 𝒯_h (the partition used throughout
+// Section 3.3). The same parameter checks as Multitorus apply.
+func TorusPartition(a, n int) ([]Block, error) {
+	N, err := SideLength(n)
+	if err != nil {
+		return nil, err
+	}
+	if a < 3 || N%a != 0 {
+		return nil, fmt.Errorf("topology: invalid partition parameters a=%d, N=%d", a, N)
+	}
+	var blocks []Block
+	for bx := 0; bx < N; bx += a {
+		for by := 0; by < N; by += a {
+			bl := Block{A: a, N: N, BX: bx, BY: by}
+			bl.Vertices = make([]int, 0, a*a)
+			for dx := 0; dx < a; dx++ {
+				for dy := 0; dy < a; dy++ {
+					bl.Vertices = append(bl.Vertices, bl.Index(dx, dy))
+				}
+			}
+			blocks = append(blocks, bl)
+		}
+	}
+	return blocks, nil
+}
+
+// BlockOf returns the index into blocks of the block containing v.
+func BlockOf(blocks []Block, v int) int {
+	if len(blocks) == 0 {
+		return -1
+	}
+	N, a := blocks[0].N, blocks[0].A
+	x, y := MeshCoord(N, v)
+	bx, by := x/a, y/a
+	perRow := N / a
+	idx := bx*perRow + by
+	if idx < len(blocks) && blocks[idx].Contains(v) {
+		return idx
+	}
+	// Fallback linear scan (defensive; should not happen).
+	for i := range blocks {
+		if blocks[i].Contains(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TorusDistance returns the hop distance between two vertices of an a×a
+// torus given their block-relative coordinates.
+func TorusDistance(a, x1, y1, x2, y2 int) int {
+	dx := absInt(x1 - x2)
+	if a-dx < dx {
+		dx = a - dx
+	}
+	dy := absInt(y1 - y2)
+	if a-dy < dy {
+		dy = a - dy
+	}
+	return dx + dy
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"universalnet/internal/graph"
+)
+
+// Multibutterfly (related work [17], Rappoport): a butterfly-like network
+// whose level-to-level wiring uses expander-based splitters instead of the
+// butterfly's single cross edge. Each node of level l has `mult` up-edges
+// into the upper half and `mult` into the lower half of its 2^{d−l}-row
+// block at level l+1, drawn from random permutations (random splitters are
+// good expanders w.h.p.). Degree ≤ 4·mult; the multibutterfly routes
+// worst-case permutations deterministically where the butterfly congests —
+// and, per [17], cannot be efficiently simulated BY a small butterfly.
+
+// MultibutterflyNode maps (level ∈ [0,d], row ∈ [0,2^d)) to a vertex index.
+func MultibutterflyNode(d, level, row int) int { return level*(1<<d) + row }
+
+// Multibutterfly builds the network with the given splitter multiplicity
+// (mult ≥ 1; mult = 1 with deterministic wiring degenerates to a butterfly-
+// like graph). Randomness is seeded; the graph is simple and connected.
+func Multibutterfly(d, mult int, seed int64) (*graph.Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("topology: multibutterfly dimension %d out of range [1,20]", d)
+	}
+	if mult < 1 || mult > 8 {
+		return nil, fmt.Errorf("topology: splitter multiplicity %d out of range [1,8]", mult)
+	}
+	rows := 1 << d
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder((d + 1) * rows)
+	// At level l the rows are partitioned into blocks of size 2^{d−l}
+	// (blocks share the top l address bits). Within a block, each node gets
+	// `mult` edges into the block's upper half at level l+1 and `mult` into
+	// its lower half, via random matchings between the block and each half.
+	for l := 0; l < d; l++ {
+		blockSize := 1 << (d - l)
+		half := blockSize / 2
+		for blockStart := 0; blockStart < rows; blockStart += blockSize {
+			for _, halfStart := range []int{blockStart, blockStart + half} {
+				for m := 0; m < mult; m++ {
+					// A random matching: block position i → half position
+					// perm[i mod half] (each half node receives exactly
+					// 2·mult edges: the block is twice the half's size).
+					perm := rng.Perm(half)
+					for i := 0; i < blockSize; i++ {
+						src := MultibutterflyNode(d, l, blockStart+i)
+						dst := MultibutterflyNode(d, l+1, halfStart+perm[i%half])
+						// Random matchings can collide with earlier ones;
+						// the builder dedupes, which only lowers the degree.
+						b.MustAddEdge(src, dst)
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,172 @@
+package universal
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/pebble"
+	"universalnet/internal/routing"
+)
+
+// BuildBenesProtocol realizes Theorem 2.1's offline construction at the
+// pebble-op level: a validated protocol on the wrapped Beneš host whose
+// transfer schedule is the Waksman path family itself. Per guest step:
+//
+//	generation phase   — each level-0 node generates its guests' pebbles
+//	                     sequentially (⌈n/rows⌉ steps);
+//	transfer phase     — the fixed row relation, decomposed once into ≤ h
+//	                     permutation rounds; round k's packets enter the
+//	                     pipeline at offset 2k and advance one level per
+//	                     step (a node receives at one step and sends at the
+//	                     next, so the one-op-per-processor rule holds);
+//	                     total 2(R−1) + 2d steps for R rounds.
+//
+// The step count is deterministic — the "known in advance" routing of §2 —
+// and the resulting protocol passes Validate and VerifyCarries.
+func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Protocol, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("universal: need T ≥ 1")
+	}
+	n := guest.N()
+	if n < bh.Rows {
+		return nil, fmt.Errorf("universal: guest size %d below row count %d (rows would idle)", n, bh.Rows)
+	}
+	d := bh.D
+	rows := bh.Rows
+	levels := routing.BenesLevels(d)
+	rowOf := func(i int) int { return i % rows }
+
+	// Guests per level-0 node, generation order.
+	guestsOf := make([][]int, rows)
+	for i := 0; i < n; i++ {
+		guestsOf[rowOf(i)] = append(guestsOf[rowOf(i)], i)
+	}
+	maxLoad := 0
+	for _, gs := range guestsOf {
+		if len(gs) > maxLoad {
+			maxLoad = len(gs)
+		}
+	}
+
+	// The fixed row relation: one entry per (guest, distinct foreign row).
+	type demand struct {
+		guest  int
+		srcRow int
+		dstRow int
+	}
+	var demands []demand
+	var rowPairs []routing.Pair
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{rowOf(i): true}
+		for _, j := range guest.Neighbors(i) {
+			r := rowOf(j)
+			if !seen[r] {
+				seen[r] = true
+				demands = append(demands, demand{guest: i, srcRow: rowOf(i), dstRow: r})
+				rowPairs = append(rowPairs, routing.Pair{Src: rowOf(i), Dst: r})
+			}
+		}
+	}
+	rounds, err := routing.DecomposeHRelation(rows, rowPairs)
+	if err != nil {
+		return nil, err
+	}
+	// Assign each demand to its round occurrence: per (src,dst), a queue.
+	queues := make(map[[2]int][]int) // (src,dst) → demand indices
+	for di, dm := range demands {
+		key := [2]int{dm.srcRow, dm.dstRow}
+		queues[key] = append(queues[key], di)
+	}
+	type move struct {
+		demandIdx int
+		path      []int // row at each Beneš level
+		dstRow    int
+	}
+	var roundMoves [][]move
+	for _, round := range rounds {
+		perm := completeRowPermutation(rows, round)
+		paths, err := routing.BenesPaths(d, perm)
+		if err != nil {
+			return nil, err
+		}
+		if err := routing.VerifyBenesPaths(d, perm, paths); err != nil {
+			return nil, err
+		}
+		var moves []move
+		for _, pr := range round {
+			key := [2]int{pr.Src, pr.Dst}
+			q := queues[key]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("universal: decomposition emitted unmatched pair %v", pr)
+			}
+			di := q[0]
+			queues[key] = q[1:]
+			moves = append(moves, move{demandIdx: di, path: paths[pr.Src], dstRow: pr.Dst})
+		}
+		roundMoves = append(roundMoves, moves)
+	}
+	for key, q := range queues {
+		if len(q) != 0 {
+			return nil, fmt.Errorf("universal: %d demands for pair %v uncovered", len(q), key)
+		}
+	}
+
+	node := func(level, row int) int { return routing.BenesNode(d, level, row) }
+	pr := &pebble.Protocol{Guest: guest, Host: bh.Graph, T: T}
+	appendStep := func(base, offset int, ops ...pebble.Op) {
+		idx := base + offset
+		for len(pr.Steps) <= idx {
+			pr.Steps = append(pr.Steps, nil)
+		}
+		pr.Steps[idx] = append(pr.Steps[idx], ops...)
+	}
+
+	base := 0
+	for t := 1; t <= T; t++ {
+		// Generation phase.
+		for r := 0; r < maxLoad; r++ {
+			var ops []pebble.Op
+			for q := 0; q < rows; q++ {
+				if r < len(guestsOf[q]) {
+					ops = append(ops, pebble.Op{
+						Kind: pebble.Generate, Proc: node(0, q),
+						Pebble: pebble.Type{P: guestsOf[q][r], T: t},
+					})
+				}
+			}
+			appendStep(base, r, ops...)
+		}
+		base += maxLoad
+		if t == T {
+			break
+		}
+		// Transfer phase, pipelined: round k's hop j happens at offset 2k+j.
+		for k, moves := range roundMoves {
+			for _, mv := range moves {
+				pb := pebble.Type{P: demands[mv.demandIdx].guest, T: t}
+				// Beneš hops: level j → j+1 along the Waksman path.
+				for j := 0; j+1 < levels; j++ {
+					from := node(j, mv.path[j])
+					to := node(j+1, mv.path[j+1])
+					appendStep(base, 2*k+j,
+						pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
+						pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
+				}
+				// Wrap hop: last level → level 0 of the destination row.
+				from := node(levels-1, mv.path[levels-1])
+				to := node(0, mv.dstRow)
+				appendStep(base, 2*k+levels-1,
+					pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
+					pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
+			}
+		}
+		if len(roundMoves) > 0 {
+			base += 2*(len(roundMoves)-1) + levels
+		}
+	}
+	// Trim any trailing empty steps (none expected, but keep tight).
+	for len(pr.Steps) > 0 && len(pr.Steps[len(pr.Steps)-1]) == 0 {
+		pr.Steps = pr.Steps[:len(pr.Steps)-1]
+	}
+	return pr, nil
+}

@@ -1,0 +1,157 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/pebble"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+func TestBuildBenesProtocolValidates(t *testing.T) {
+	bh, err := NewBenesHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 32, 4) // load 4 on 8 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildBenesProtocol(guest, bh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatalf("Beneš protocol invalid: %v", err)
+	}
+	comp := sim.MixMod(guest, rng)
+	if err := pebble.VerifyCarries(pr, comp); err != nil {
+		t.Fatalf("Beneš protocol does not carry the computation: %v", err)
+	}
+}
+
+func TestBuildBenesProtocolDeterministicShape(t *testing.T) {
+	bh, err := NewBenesHost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	guest, err := topology.RandomGuest(rng, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr1, err := BuildBenesProtocol(guest, bh, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := BuildBenesProtocol(guest, bh, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1.HostSteps() != pr2.HostSteps() || pr1.OpCount() != pr2.OpCount() {
+		t.Error("offline protocol not deterministic")
+	}
+	// T' = T·maxLoad + (T−1)·(2(R−1)+2d) for some R ≤ h: per-guest-step
+	// transfer cost is uniform.
+	maxLoad := 4
+	T := 4
+	transferTotal := pr1.HostSteps() - T*maxLoad
+	if transferTotal%(T-1) != 0 {
+		t.Errorf("transfer steps %d not uniform across %d phases", transferTotal, T-1)
+	}
+	perPhase := transferTotal / (T - 1)
+	if perPhase < 2*bh.D {
+		t.Errorf("per-phase transfer %d below one traversal", perPhase)
+	}
+	if (perPhase-2*bh.D*1)%2 != 0 {
+		t.Errorf("per-phase transfer %d not of the form 2(R−1)+2d", perPhase)
+	}
+}
+
+func TestBuildBenesProtocolMatchesRouterAccounting(t *testing.T) {
+	// The op-level protocol's per-phase transfer cost equals the
+	// OfflineBenesRouter's pipelined step count for the same relation.
+	bh, err := NewBenesHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	guest, err := topology.RandomGuest(rng, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildBenesProtocol(guest, bh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare with the step accounting of the router-based simulator.
+	es := &EmbeddingSimulator{Host: &bh.Host, F: bh.Assignment(24)}
+	comp := sim.MixMod(guest, rng)
+	rep, err := es.Run(comp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLoad := 3                                   // 24 guests on 8 rows
+	perPhaseProtocol := pr.HostSteps() - 2*maxLoad // one transfer phase (T−1 = 1)
+	perPhaseRouter := rep.RouteSteps / 2           // router runs per guest step
+	// Same round count R, different pipeline rates: the pebble model cannot
+	// receive and send in one step (rate 2: 2(R−1)+2d), the link model can
+	// (rate 1: (R−1)+2d). Check the exact relation.
+	twoD := 2 * bh.D
+	rProtocol := (perPhaseProtocol-twoD)/2 + 1
+	rRouter := perPhaseRouter - twoD + 1
+	if rProtocol != rRouter {
+		t.Errorf("round counts disagree: protocol %d vs router %d (per-phase %d vs %d)",
+			rProtocol, rRouter, perPhaseProtocol, perPhaseRouter)
+	}
+}
+
+func TestBuildBenesProtocolGuards(t *testing.T) {
+	bh, err := NewBenesHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	guest, err := topology.RandomGuest(rng, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBenesProtocol(guest, bh, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	small, err := topology.RandomGuest(rng, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildBenesProtocol(small, bh, 2); err == nil {
+		t.Error("guest smaller than row count accepted")
+	}
+}
+
+func TestBuildBenesProtocolSingleStep(t *testing.T) {
+	// T = 1: generation only, no transfers.
+	bh, err := NewBenesHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	guest, err := topology.RandomGuest(rng, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildBenesProtocol(guest, bh, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.HostSteps() != 2 { // maxLoad = 2
+		t.Errorf("steps = %d, want 2", pr.HostSteps())
+	}
+}

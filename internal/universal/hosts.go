@@ -1,0 +1,96 @@
+package universal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"universalnet/internal/routing"
+	"universalnet/internal/topology"
+)
+
+// ButterflyHost returns the wrapped butterfly of dimension d (m = d·2^d
+// processors) with a greedy shortest-path router. Section 2's canonical
+// small universal network: slowdown O((n/m)·log m).
+func ButterflyHost(d int) (*Host, error) {
+	g, err := topology.WrappedButterfly(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		Name:   fmt.Sprintf("butterfly(d=%d,m=%d)", d, g.N()),
+		Graph:  g,
+		Router: &routing.GreedyRouter{Mode: routing.MultiPort},
+	}, nil
+}
+
+// TorusHost returns the √m×√m torus with dimension-order routing — the
+// diameter-Θ(√m) contrast host for the trade-off experiments.
+func TorusHost(m int) (*Host, error) {
+	g, err := topology.Torus(m)
+	if err != nil {
+		return nil, err
+	}
+	N, err := topology.SideLength(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		Name:   fmt.Sprintf("torus(m=%d)", m),
+		Graph:  g,
+		Router: &routing.DimensionOrderRouter{N: N, Wrap: true, Mode: routing.MultiPort},
+	}, nil
+}
+
+// ExpanderHost returns a random deg-regular host (an expander w.h.p.) with a
+// greedy router — the natural candidate for a good universal network.
+func ExpanderHost(m, deg int, seed int64) (*Host, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topology.RandomRegular(rng, m, deg)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		// Regenerate a few times; random regular graphs are connected w.h.p.
+		for i := 0; i < 10 && !g.IsConnected(); i++ {
+			g, err = topology.RandomRegular(rng, m, deg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !g.IsConnected() {
+			return nil, fmt.Errorf("universal: could not generate connected expander host")
+		}
+	}
+	return &Host{
+		Name:   fmt.Sprintf("expander(m=%d,deg=%d)", m, deg),
+		Graph:  g,
+		Router: &routing.GreedyRouter{Mode: routing.MultiPort},
+	}, nil
+}
+
+// RingHost returns the m-cycle with a greedy router — the degenerate host
+// whose diameter makes universal simulation maximally slow; a baseline.
+func RingHost(m int) (*Host, error) {
+	g, err := topology.Ring(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		Name:   fmt.Sprintf("ring(m=%d)", m),
+		Graph:  g,
+		Router: &routing.GreedyRouter{Mode: routing.MultiPort},
+	}, nil
+}
+
+// CCCHost returns the cube-connected cycles host of dimension d.
+func CCCHost(d int) (*Host, error) {
+	g, err := topology.CubeConnectedCycles(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		Name:   fmt.Sprintf("ccc(d=%d,m=%d)", d, g.N()),
+		Graph:  g,
+		Router: &routing.GreedyRouter{Mode: routing.MultiPort},
+	}, nil
+}

@@ -1,0 +1,119 @@
+package universal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+// The integration matrix: every workload on its natural guest, simulated on
+// every host kind, trace-verified — the universality property exercised
+// across the full workload × host grid.
+func TestWorkloadHostMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+
+	type workload struct {
+		name  string
+		guest *graph.Graph
+		comp  *sim.Computation
+		steps int
+	}
+	var workloads []workload
+
+	// MixMod on a random 4-regular guest.
+	rg, err := topology.RandomGuest(rng, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"mixmod/random4", rg, sim.MixMod(rg, rng), 4})
+
+	// Majority CA on a torus guest.
+	tg, err := topology.Torus(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]sim.State, 64)
+	for i := range init {
+		if rng.Float64() < 0.5 {
+			init[i] = 1
+		}
+	}
+	ca, err := sim.CellularAutomaton(tg, init, []sim.State{0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"majority-ca/torus", tg, ca, 5})
+
+	// BFS distances on a CCC guest.
+	cg, err := topology.CubeConnectedCycles(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := sim.BFSDistance(cg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"bfs/ccc", cg, bfs, 6})
+
+	// Prefix sums on a ring guest.
+	ring, err := topology.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]sim.State, 64)
+	for i := range vals {
+		vals[i] = sim.State(rng.Intn(1000))
+	}
+	ps, err := sim.PrefixSumRing(ring, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"prefix/ring", ring, ps, 5})
+
+	// Max consensus on a shuffle-exchange guest.
+	se, err := topology.ShuffleExchange(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := sim.MaxConsensus(se, sim.RandomInit(64, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"maxcons/shuffle-exchange", se, mc, 4})
+
+	hosts := map[string]func() (*Host, error){
+		"butterfly": func() (*Host, error) { return ButterflyHost(3) },
+		"torus":     func() (*Host, error) { return TorusHost(16) },
+		"expander":  func() (*Host, error) { return ExpanderHost(16, 4, 3) },
+		"ring":      func() (*Host, error) { return RingHost(16) },
+		"ccc":       func() (*Host, error) { return CCCHost(3) },
+	}
+	for _, wl := range workloads {
+		direct, err := wl.comp.Run(wl.steps)
+		if err != nil {
+			t.Fatalf("%s direct: %v", wl.name, err)
+		}
+		for hname, build := range hosts {
+			t.Run(fmt.Sprintf("%s_on_%s", wl.name, hname), func(t *testing.T) {
+				host, err := build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := (&EmbeddingSimulator{Host: host}).Run(wl.comp, wl.steps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Trace.Checksum() != direct.Checksum() {
+					t.Fatal("trace diverged")
+				}
+				if rep.Slowdown < 1 {
+					t.Errorf("slowdown %f < 1", rep.Slowdown)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/sim"
+)
+
+func TestObliviousPatternValidate(t *testing.T) {
+	good := ObliviousPattern{{1, 0, 2}, {2, 1, 0}}
+	if err := good.Validate(3); err != nil {
+		t.Error(err)
+	}
+	if err := (ObliviousPattern{{0, 0, 1}}).Validate(3); err == nil {
+		t.Error("duplicate recipient accepted")
+	}
+	if err := (ObliviousPattern{{0, 1}}).Validate(3); err == nil {
+		t.Error("short round accepted")
+	}
+	if err := (ObliviousPattern{{0, 1, 9}}).Validate(3); err == nil {
+		t.Error("out-of-range recipient accepted")
+	}
+}
+
+func TestRandomObliviousPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RandomObliviousPattern(rng, 16, 5)
+	if len(p) != 5 {
+		t.Fatalf("rounds = %d", len(p))
+	}
+	if err := p.Validate(16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectObliviousRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	init := sim.RandomInit(12, rng)
+	pattern := RandomObliviousPattern(rng, 12, 6)
+	tr1, err := DirectObliviousRun(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := DirectObliviousRun(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Checksum() != tr2.Checksum() {
+		t.Error("direct run not deterministic")
+	}
+	if tr1.T() != 6 || tr1.N() != 12 {
+		t.Errorf("trace shape %dx%d", tr1.T(), tr1.N())
+	}
+}
+
+func TestRunObliviousMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 48
+	init := sim.RandomInit(n, rng)
+	pattern := RandomObliviousPattern(rng, n, 4)
+	direct, err := DirectObliviousRun(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ButterflyHost(3) // m = 24 < n
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).RunOblivious(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		t.Fatal("oblivious simulation diverged from direct run")
+	}
+	if rep.MaxLoad != 2 {
+		t.Errorf("load %d, want 2", rep.MaxLoad)
+	}
+	if rep.Slowdown < 1 {
+		t.Errorf("slowdown %f", rep.Slowdown)
+	}
+	if rep.HostSteps != rep.ComputeSteps+rep.RouteSteps {
+		t.Error("accounting inconsistent")
+	}
+}
+
+func TestRunObliviousOnExpanderHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 64
+	init := sim.RandomInit(n, rng)
+	pattern := RandomObliviousPattern(rng, n, 3)
+	direct, err := DirectObliviousRun(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ExpanderHost(32, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).RunOblivious(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		t.Fatal("diverged on expander host")
+	}
+}
+
+func TestRunObliviousGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	init := sim.RandomInit(8, rng)
+	host, err := RingHost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &EmbeddingSimulator{Host: host, F: []int{0}}
+	if _, err := es.RunOblivious(init, RandomObliviousPattern(rng, 8, 2)); err == nil {
+		t.Error("short assignment accepted")
+	}
+	es = &EmbeddingSimulator{Host: host}
+	if _, err := es.RunOblivious(init, ObliviousPattern{{0, 0, 0, 0, 0, 0, 0, 0}}); err == nil {
+		t.Error("non-permutation round accepted")
+	}
+	bad := make([]int, 8)
+	bad[2] = 77
+	es = &EmbeddingSimulator{Host: host, F: bad}
+	if _, err := es.RunOblivious(init, RandomObliviousPattern(rng, 8, 2)); err == nil {
+		t.Error("invalid host id accepted")
+	}
+}
+
+func TestRunObliviousEmptyPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	init := sim.RandomInit(8, rng)
+	host, err := RingHost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).RunOblivious(init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostSteps != 0 || rep.Trace.T() != 0 {
+		t.Errorf("empty pattern: %+v", rep)
+	}
+}
+
+func TestObliviousIdentityPatternStaysLocal(t *testing.T) {
+	// Identity rounds send i→i: no routing needed at all.
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	init := sim.RandomInit(n, rng)
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	pattern := ObliviousPattern{id, id}
+	host, err := RingHost(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).RunOblivious(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RouteSteps != 0 {
+		t.Errorf("identity pattern routed %d steps", rep.RouteSteps)
+	}
+	direct, err := DirectObliviousRun(init, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		t.Error("identity pattern diverged")
+	}
+}

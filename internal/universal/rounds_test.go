@@ -1,0 +1,125 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+)
+
+func TestBuildRoundedTreeHost(t *testing.T) {
+	rh, err := BuildRoundedTreeHost(16, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.RootNet.N() != 16 || !rh.RootNet.IsConnected() {
+		t.Error("root interconnect wrong")
+	}
+	if rh.M() != rh.Tree.M() {
+		t.Error("size accounting wrong")
+	}
+	if _, err := BuildRoundedTreeHost(12, 3, 2); err == nil {
+		t.Error("non-power-of-two n accepted")
+	}
+	if _, err := BuildRoundedTreeHost(2, 3, 2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestRoundedRunMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, c := 16, 3
+	guest, err := topology.RandomGuest(rng, n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := sim.MixMod(guest, rng)
+	direct, err := comp.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, t0 := range []int{1, 2, 3} {
+		rh, err := BuildRoundedTreeHost(n, c, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rh.Run(comp, 9)
+		if err != nil {
+			t.Fatalf("t0=%d: %v", t0, err)
+		}
+		if rep.Trace.Checksum() != direct.Checksum() {
+			t.Fatalf("t0=%d: trace diverged", t0)
+		}
+		if rep.Slowdown < float64(c+2) {
+			t.Errorf("t0=%d: slowdown %f below the compute floor %d", t0, rep.Slowdown, c+2)
+		}
+		wantRounds := (9 + t0 - 1) / t0
+		if rep.Rounds != wantRounds {
+			t.Errorf("t0=%d: rounds %d, want %d", t0, rep.Rounds, wantRounds)
+		}
+	}
+}
+
+func TestRoundedRunAmortization(t *testing.T) {
+	// The refresh cost amortizes: per-step refresh overhead at t0=3 must be
+	// below t0=1 (the [14] trade: bigger trees, fewer refreshes).
+	rng := rand.New(rand.NewSource(2))
+	n, c, T := 16, 3, 12
+	guest, err := topology.RandomGuest(rng, n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := sim.MixMod(guest, rng)
+	overhead := func(t0 int) float64 {
+		rh, err := BuildRoundedTreeHost(n, c, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rh.Run(comp, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rep.RouteSteps+rep.ScatterSteps) / float64(T)
+	}
+	if o3, o1 := overhead(3), overhead(1); o3 >= o1 {
+		t.Errorf("refresh overhead did not amortize: t0=3 %.2f ≥ t0=1 %.2f", o3, o1)
+	}
+}
+
+func TestRoundedRunGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rh, err := BuildRoundedTreeHost(16, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSize, err := topology.RandomGuest(rng, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh.Run(sim.MixMod(wrongSize, rng), 4); err == nil {
+		t.Error("wrong guest size accepted")
+	}
+	dense, err := topology.RandomGuest(rng, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh.Run(sim.MixMod(dense, rng), 4); err == nil {
+		t.Error("guest degree above c accepted")
+	}
+	okGuest, err := topology.RandomGuest(rng, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh.Run(sim.MixMod(okGuest, rng), -1); err == nil {
+		t.Error("negative T accepted")
+	}
+	// T = 0: trivial run.
+	rep, err := rh.Run(sim.MixMod(okGuest, rng), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostSteps != 0 || rep.Rounds != 0 {
+		t.Errorf("zero-step run: %+v", rep)
+	}
+}

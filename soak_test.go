@@ -1,0 +1,228 @@
+package universalnet
+
+// Soak tests: larger instances of the load-bearing invariants. They run in
+// the default test mode and are skipped under -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/depgraph"
+	"universalnet/internal/pebble"
+	"universalnet/internal/topology"
+)
+
+func TestSoakDependencyTreesBlockSide10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// Block side 10 (a = 5): build and validate a tree for every vertex of
+	// two blocks; check the Lemma 3.10 size constant stays bounded.
+	blockSide := 10
+	n := topology.NextValidG0Size(4*blockSide*blockSide, blockSide)
+	g0, err := topology.BuildG0WithBlockSide(n, blockSide, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := depgraph.TreeDepth(blockSide)
+	a := g0.A
+	for _, bi := range []int{0, len(g0.Blocks) - 1} {
+		for _, v := range g0.Blocks[bi].Vertices {
+			tree, err := depgraph.BuildDependencyTree(g0, v, depth)
+			if err != nil {
+				t.Fatalf("root %d: %v", v, err)
+			}
+			if err := tree.Validate(g0.Multitorus, 2); err != nil {
+				t.Fatalf("root %d: %v", v, err)
+			}
+			if err := tree.LeavesCover(g0.Blocks[bi].Vertices, depth); err != nil {
+				t.Fatalf("root %d: %v", v, err)
+			}
+			if tree.Size() > 60*a*a {
+				t.Fatalf("root %d: size %d > 60a² (a=%d)", v, tree.Size(), a)
+			}
+		}
+	}
+}
+
+func TestSoakLargeSimulationVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(77))
+	guest, err := RandomGuest(rng, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := MixMod(guest, rng)
+	host, err := ButterflyHost(5) // m = 160
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).Run(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := comp.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		t.Fatal("large simulation diverged")
+	}
+	// Shape: within a small factor of (n/m)·log m.
+	pred := UpperBoundSlowdown(1024, 160, 1)
+	if rep.Slowdown > 3*pred || rep.Slowdown < pred/3 {
+		t.Errorf("slowdown %.1f strays from the (n/m)·log m form %.1f", rep.Slowdown, pred)
+	}
+}
+
+func TestSoakProtocolCarriesLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(78))
+	guest, err := RandomGuest(rng, 128, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.CubeConnectedCycles(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := MixMod(guest, rng)
+	if err := VerifyCarries(pr, comp); err != nil {
+		t.Fatal(err)
+	}
+	// The single-port model bookkeeping: total ops fit within T'·m.
+	st := pr.Stats()
+	if st.TotalOps > pr.HostSteps()*host.N() {
+		t.Errorf("ops %d exceed the T'·m budget %d", st.TotalOps, pr.HostSteps()*host.N())
+	}
+}
+
+func TestSoakBenesLargePermutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(79))
+	for _, d := range []int{8, 10} {
+		perm := rng.Perm(1 << d)
+		steps, err := OfflinePermutationSteps(d, perm)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if steps != 2*d-1 {
+			t.Errorf("d=%d: steps %d", d, steps)
+		}
+	}
+}
+
+func TestSoakRandomProtocolFuzzWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		guest, err := RandomGuest(rng, 12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := topology.Torus(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := pebble.RandomProtocol(guest, host, 3, rng, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		comp := MixMod(guest, rng)
+		if err := pebble.VerifyCarries(pr, comp); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSoakLemma312AtBlockSide6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// The full Lemma 3.12 machinery at the next G₀ size up: blockSide 6
+	// (a = 3, D = 28), n = 144, T = 36.
+	g0, err := topology.BuildG0WithBlockSide(144, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	guest, err := g0.SampleGuest(rng, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := depgraph.TreeDepth(6)
+	T := D + 8
+	pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := st.ComputeLemmaWeights(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := lw.CriticalTimes(T)
+	if len(z) < (T-D)/2 {
+		t.Fatalf("|Z_S| = %d below guarantee %d", len(z), (T-D)/2)
+	}
+	if lw.TreeSize > 48*g0.A*g0.A {
+		t.Errorf("tree size %d above 48a² = %d", lw.TreeSize, 48*g0.A*g0.A)
+	}
+	for _, t0 := range z {
+		if _, err := st.ChooseRoots(g0, lw, t0); err != nil {
+			t.Fatalf("t0=%d: %v", t0, err)
+		}
+	}
+}
+
+func TestSoakScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// n = 2048 on an m = 896 butterfly: the Theorem 2.1 shape at 10× the
+	// experiment scale, trace-verified.
+	rng := rand.New(rand.NewSource(91))
+	guest, err := RandomGuest(rng, 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := MixMod(guest, rng)
+	host, err := ButterflyHost(7) // m = 896
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&EmbeddingSimulator{Host: host}).Run(comp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := comp.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Checksum() != direct.Checksum() {
+		t.Fatal("large-scale simulation diverged")
+	}
+	pred := UpperBoundSlowdown(2048, host.Graph.N(), 1)
+	if rep.Slowdown > 3*pred {
+		t.Errorf("slowdown %.1f strays above 3× the (n/m)·log m form %.1f", rep.Slowdown, pred)
+	}
+}
