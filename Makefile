@@ -2,14 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report examples cover clean
+.PHONY: all build check test test-race bench report examples cover clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# Static gate: formatting, vet, and a full compile. `make test` runs it first.
+check:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+
+test: check
 	$(GO) test ./...
 
 test-race:
@@ -18,9 +25,10 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the full E1..E20 evaluation suite and print every table + figure.
+# Run the full E1..E22 evaluation suite and print every table + figure.
+# Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.
 report: build
-	$(GO) run ./cmd/uninet report
+	$(GO) run ./cmd/uninet report $(REPORT_FLAGS)
 
 examples:
 	$(GO) run ./examples/quickstart

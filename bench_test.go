@@ -31,6 +31,7 @@ package universalnet
 //   BenchmarkSpreadingProfiles     — E22, [15] spreading classification
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -158,7 +159,7 @@ func BenchmarkTreeCachedHost(b *testing.B) {
 func BenchmarkSizeSlowdownTradeoff(b *testing.B) {
 	var last []experiments.E7Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E7Tradeoff(24, 3, 3, 3, 6, 19)
+		rows, err := experiments.E7Tradeoff(context.Background(), 24, 3, 3, 3, 6, 19)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func BenchmarkOfflineRouting(b *testing.B) {
 	dims := []int{3, 4, 5, 6, 7}
 	var last []experiments.E8Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E8OfflineRouting(dims, 3, 23)
+		rows, err := experiments.E8OfflineRouting(context.Background(), dims, 3, 23)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func BenchmarkOfflineRouting(b *testing.B) {
 func BenchmarkFragmentMultiplicity(b *testing.B) {
 	var last *experiments.E9Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E9FragmentMultiplicity(64, 4, 3, 16, 6, 2, 29)
+		res, err := experiments.E9FragmentMultiplicity(context.Background(), 64, 4, 3, 16, 6, 2, 29)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func BenchmarkG0Expansion(b *testing.B) {
 	sides := []int{4, 6, 8}
 	var last []experiments.E10Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E10G0Expansion(sides, 0.25, 31)
+		rows, err := experiments.E10G0Expansion(context.Background(), sides, 0.25, 31)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func BenchmarkG0Expansion(b *testing.B) {
 func BenchmarkStaticEmbeddings(b *testing.B) {
 	var last []experiments.E11Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E11Embeddings(64, 4, 41)
+		rows, err := experiments.E11Embeddings(context.Background(), 64, 4, 41)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func BenchmarkStaticEmbeddings(b *testing.B) {
 func BenchmarkRouterAblation(b *testing.B) {
 	var last []experiments.E12Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E12RouterAblation(128, 4, 3, 43)
+		rows, err := experiments.E12RouterAblation(context.Background(), 128, 4, 3, 43)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func BenchmarkRouterAblation(b *testing.B) {
 func BenchmarkAssignmentAblation(b *testing.B) {
 	var last []experiments.E13Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E13AssignmentAblation(64, 3, 47)
+		rows, err := experiments.E13AssignmentAblation(context.Background(), 64, 3, 47)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +302,7 @@ func BenchmarkObliviousComplete(b *testing.B) {
 func BenchmarkBuilderAblation(b *testing.B) {
 	var last []experiments.E15Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E15BuilderAblation(59)
+		rows, err := experiments.E15BuilderAblation(context.Background(), 59)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -340,7 +341,7 @@ func BenchmarkRedundancy(b *testing.B) {
 func BenchmarkBaselineBounds(b *testing.B) {
 	var last []experiments.E17Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E17Baselines(256, 3, 67)
+		rows, err := experiments.E17Baselines(context.Background(), 256, 3, 67)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -360,7 +361,7 @@ func BenchmarkBaselineBounds(b *testing.B) {
 func BenchmarkOfflineTheorem21(b *testing.B) {
 	var last []experiments.E18Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E18OfflineTheorem21(128, 3, []int{3, 4, 5}, 71)
+		rows, err := experiments.E18OfflineTheorem21(context.Background(), 128, 3, []int{3, 4, 5}, 71)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -378,7 +379,7 @@ func BenchmarkOfflineTheorem21(b *testing.B) {
 func BenchmarkRouteScaling(b *testing.B) {
 	var last []experiments.E19Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E19RouteScaling([]int{1, 2, 4}, 2, 73)
+		rows, err := experiments.E19RouteScaling(context.Background(), []int{1, 2, 4}, 2, 73)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -398,7 +399,7 @@ func BenchmarkRouteScaling(b *testing.B) {
 func BenchmarkMultibutterflyAsymmetry(b *testing.B) {
 	var last []experiments.E20Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E20Multibutterfly(4, 3, 79)
+		rows, err := experiments.E20Multibutterfly(context.Background(), 4, 3, 79)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -418,7 +419,7 @@ func BenchmarkMultibutterflyAsymmetry(b *testing.B) {
 func BenchmarkMinimizerAblation(b *testing.B) {
 	var last []experiments.E21Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E21MinimizerAblation(83)
+		rows, err := experiments.E21MinimizerAblation(context.Background(), 83)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -435,7 +436,7 @@ func BenchmarkMinimizerAblation(b *testing.B) {
 func BenchmarkSpreadingProfiles(b *testing.B) {
 	var last []experiments.E22Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E22Spreading(6, 89)
+		rows, err := experiments.E22Spreading(context.Background(), 6, 89)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -449,6 +450,29 @@ func BenchmarkSpreadingProfiles(b *testing.B) {
 		if r.Topology == "expander" {
 			b.ReportMetric(r.Exponent, "expander_exponent")
 		}
+	}
+}
+
+// BenchmarkRunnerParallel runs the full registered suite through the
+// experiment runner at workers=1 and workers=GOMAXPROCS — the headline
+// speedup of the parallel execution layer.
+func BenchmarkRunnerParallel(b *testing.B) {
+	cfg := experiments.Config{Seed: 1}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", 0}, // 0 ⇒ GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &experiments.Runner{Workers: bc.workers, FailFast: true}
+				if _, err := r.Run(context.Background(), experiments.Registry(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

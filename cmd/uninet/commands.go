@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"universalnet/internal/core"
 	"universalnet/internal/depgraph"
@@ -380,159 +383,90 @@ func cmdFigure1(args []string) error {
 	return nil
 }
 
+// cmdExperiment runs a subset of the registered experiment suite through
+// the parallel runner. IDs come from -only (or the legacy -id alias);
+// empty selects all 22. With -json, one JSON object per experiment (id,
+// derived seed, duration, structured payload, error) is emitted — the
+// table text goes to stdout otherwise.
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	id := fs.String("id", "E1", "experiment id E1..E14")
-	seed := fs.Int64("seed", 1, "random seed")
+	id := fs.String("id", "", "single experiment id (alias for -only)")
+	only := fs.String("only", "", "comma-separated experiment ids, e.g. E1,E4,E12 (default: all)")
+	parallel := fs.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
+	timeout := fs.Duration("timeout", 0, "overall deadline, e.g. 90s (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment instead of tables")
+	failFast := fs.Bool("failfast", false, "cancel remaining experiments on the first failure")
+	list := fs.Bool("list", false, "list the registered experiments and exit")
+	seed := fs.Int64("seed", 1, "root random seed (per-experiment seeds are derived from it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch strings.ToUpper(*id) {
-	case "E1":
-		rows, err := experiments.E1UpperBound(512, 4, 3, []int{3, 4, 5, 6}, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E1Table(512, rows))
-	case "E2":
-		rows, err := experiments.E2LowerBoundCurve([]float64{10, 16, 24, 32, 48, 64, 1e6, 2e6, 4e6})
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E2Table(rows))
-	case "E3":
-		rows, err := experiments.E3DependencyTrees([]int{4, 6, 8}, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E3Table(rows))
-	case "E4":
-		res, err := experiments.E4CriticalTimes(64, 4, 3, 16, 24, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("E4 (Lemma 3.12): n=%d m=%d T=%d D=%d k=%.2f\n", res.N, res.M, res.T, res.D, res.K)
-		fmt.Printf("|Z_S|=%d (guarantee ≥ %d), critical times verified=%d\n", res.ZSize, res.ZLowerBound, res.Checked)
-		fmt.Printf("inequality (1) violated=%v, inequality (2) violated=%v, max tree size=%d\n",
-			res.Ineq1Violated, res.Ineq2Violated, res.TreeSizeMax)
-	case "E5":
-		res, err := experiments.E5Frontier(64, 4, 3, 8, 0.4, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("E5 (Lemma 3.15): n=%d m=%d α=%.2f sampled β=%.2f k=%.2f\n",
-			res.N, res.M, res.Alpha, res.BetaSampled, res.K)
-		fmt.Printf("frontier thresholds τ_j: %v\n", res.Thresholds)
-		fmt.Printf("min gap=%d host steps; max e_{t_j}(τ_j)=%d (cap (α/β)·n=%.1f)\n",
-			res.MinGap, res.FrontierCap, res.CapBound)
-	case "E6":
-		rows, err := experiments.E6TreeCache(8, 2, []int{2, 3, 4, 5}, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E6Table(rows))
-	case "E7":
-		rows, err := experiments.E7Tradeoff(24, 3, 3, 3, 6, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E7Table(rows))
-	case "E8":
-		rows, err := experiments.E8OfflineRouting([]int{3, 4, 5, 6, 7}, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E8Table(rows))
-	case "E9":
-		res, err := experiments.E9FragmentMultiplicity(64, 4, 3, 16, 6, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("E9 (Lemma 3.3): n=%d m=%d c=%d guests=%d\n", res.N, res.M, res.C, res.Guests)
-		fmt.Printf("edge inclusion N(P_i) ⊆ D_i holds=%v; max|D_i|=%d\n", res.EdgeInclOK, res.MaxD)
-		fmt.Printf("log2 X ≤ %.1f (worst fragment) vs log2 |U[G0]| ≥ %.1f\n", res.Log2XBound, res.Log2GuestLB)
-	case "E10":
-		rows, err := experiments.E10G0Expansion([]int{4, 6, 8}, 0.25, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E10Table(rows))
-	case "E11":
-		rows, err := experiments.E11Embeddings(64, 4, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E11Table(rows))
-	case "E12":
-		rows, err := experiments.E12RouterAblation(128, 4, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E12Table(rows))
-	case "E13":
-		rows, err := experiments.E13AssignmentAblation(64, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E13Table(rows))
-	case "E14":
-		rows, err := experiments.E14ObliviousComplete(256, 3, []int{3, 4, 5, 6}, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E14Table(256, rows))
-	case "E15":
-		rows, err := experiments.E15BuilderAblation(*seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E15Table(rows))
-	case "E16":
-		rows, err := experiments.E16Redundancy(48, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E16Table(rows))
-	case "E17":
-		rows, err := experiments.E17Baselines(256, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E17Table(256, rows))
-	case "E18":
-		rows, err := experiments.E18OfflineTheorem21(128, 3, []int{3, 4, 5}, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E18Table(128, rows))
-	case "E19":
-		rows, err := experiments.E19RouteScaling([]int{1, 2, 4, 8}, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E19Table(rows))
-	case "E20":
-		rows, err := experiments.E20Multibutterfly(4, 3, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E20Table(rows))
-	case "E21":
-		rows, err := experiments.E21MinimizerAblation(*seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E21Table(rows))
-	case "E22":
-		rows, err := experiments.E22Spreading(6, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.E22Table(rows))
-	default:
-		return fmt.Errorf("unknown experiment %q (want E1..E22)", *id)
+	if *list {
+		fmt.Print(listExperiments())
+		return nil
 	}
-	return nil
+	sel := *only
+	if sel == "" {
+		sel = *id
+	}
+	var ids []string
+	if sel != "" {
+		ids = strings.Split(sel, ",")
+	}
+	exps, err := experiments.Select(ids)
+	if err != nil {
+		return err
+	}
+	return runExperiments(exps, *seed, *parallel, *timeout, *failFast, *jsonOut)
+}
+
+// listExperiments renders the registry as an id → claim → modules table.
+func listExperiments() string {
+	tab := &experiments.Table{
+		Title:   "Registered experiments (E1..E22)",
+		Columns: []string{"id", "claim", "modules"},
+	}
+	for _, e := range experiments.Registry() {
+		tab.Rows = append(tab.Rows, []string{e.ID, e.Claim, e.Modules})
+	}
+	return tab.String()
+}
+
+// runExperiments executes exps on the runner and writes tables (or JSON
+// lines) to stdout. The returned error aggregates every failed experiment;
+// table output carries no timings so it is byte-identical across worker
+// counts.
+func runExperiments(exps []experiments.Experiment, seed int64, parallel int, timeout time.Duration, failFast, jsonOut bool) error {
+	r := &experiments.Runner{Workers: parallel, Timeout: timeout, FailFast: failFast}
+	results, runErr := r.Run(context.Background(), exps, experiments.Config{Seed: seed})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, res := range results {
+			obj := map[string]any{
+				"id":          res.ID,
+				"seed":        res.Seed,
+				"duration_ms": float64(res.Duration) / float64(time.Millisecond),
+			}
+			if res.Payload != nil {
+				obj["payload"] = res.Payload
+			}
+			if res.Err != nil {
+				obj["error"] = res.Err.Error()
+			}
+			if err := enc.Encode(obj); err != nil {
+				return err
+			}
+		}
+		return runErr
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "uninet: %s failed: %v\n", res.ID, res.Err)
+			continue
+		}
+		fmt.Printf("\n%s\n", res.Text)
+	}
+	return runErr
 }
 
 func cmdCount(args []string) error {
@@ -630,14 +564,29 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
-// cmdReport runs the entire evaluation suite and prints every table.
+// cmdReport runs the evaluation suite (all 22 experiments by default) and
+// prints every table. It shares the registry/runner engine with
+// cmdExperiment: -parallel fans out over a worker pool without changing a
+// byte of the output, -only restricts to a subset, -timeout bounds the run.
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "root random seed (per-experiment seeds are derived from it)")
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	parallel := fs.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
+	timeout := fs.Duration("timeout", 0, "overall deadline, e.g. 90s (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return experiments.RunAll(os.Stdout, *seed)
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	exps, err := experiments.Select(ids)
+	if err != nil {
+		return err
+	}
+	return runExperiments(exps, *seed, *parallel, *timeout, true, *jsonOut)
 }
 
 // cmdGap prints the conclusion's open-problem table: the host size needed

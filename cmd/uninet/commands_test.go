@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -116,6 +119,69 @@ func TestCmdExperimentSmall(t *testing.T) {
 	}
 	if err := cmdExperiment([]string{"-id", "E99"}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed. fn must succeed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+func TestCmdExperimentOnlyJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExperiment([]string{"-only", "E2,E3", "-parallel", "4", "-json"})
+	})
+	dec := json.NewDecoder(strings.NewReader(out))
+	var ids []string
+	for dec.More() {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			t.Fatalf("invalid JSON line: %v\noutput:\n%s", err, out)
+		}
+		id, _ := obj["id"].(string)
+		ids = append(ids, id)
+		if _, ok := obj["duration_ms"].(float64); !ok {
+			t.Errorf("%s: missing duration_ms", id)
+		}
+		if _, ok := obj["seed"].(float64); !ok {
+			t.Errorf("%s: missing seed", id)
+		}
+		if _, ok := obj["payload"]; !ok {
+			t.Errorf("%s: missing payload", id)
+		}
+		if msg, ok := obj["error"]; ok {
+			t.Errorf("%s: unexpected error %v", id, msg)
+		}
+	}
+	if strings.Join(ids, ",") != "E2,E3" {
+		t.Fatalf("ids = %v, want [E2 E3]", ids)
+	}
+}
+
+func TestCmdExperimentList(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdExperiment([]string{"-list"}) })
+	for _, want := range []string{"E1", "E22", "Thm 2.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
 	}
 }
 

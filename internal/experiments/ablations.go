@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,7 +33,7 @@ type E11Row struct {
 
 // E11Embeddings measures load/dilation/congestion of static embeddings of a
 // mesh and a random guest into a wrapped butterfly.
-func E11Embeddings(meshN, hostDim int, seed int64) ([]E11Row, error) {
+func E11Embeddings(ctx context.Context, meshN, hostDim int, seed int64) ([]E11Row, error) {
 	host, err := topology.WrappedButterfly(hostDim)
 	if err != nil {
 		return nil, err
@@ -52,6 +53,9 @@ func E11Embeddings(meshN, hostDim int, seed int64) ([]E11Row, error) {
 		name string
 		g    *graph.Graph
 	}{{"mesh", mesh}, {"random-4-regular", randGuest}} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, strat := range []struct {
 			name  string
 			build func() (*embedding.Embedding, error)
@@ -105,7 +109,7 @@ type E12Row struct {
 
 // E12RouterAblation runs the embedding simulation with each router on a
 // torus host of size 64.
-func E12RouterAblation(n, deg, T int, seed int64) ([]E12Row, error) {
+func E12RouterAblation(ctx context.Context, n, deg, T int, seed int64) ([]E12Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, n, deg)
 	if err != nil {
@@ -132,6 +136,9 @@ func E12RouterAblation(n, deg, T int, seed int64) ([]E12Row, error) {
 	}
 	var rows []E12Row
 	for _, spec := range routers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		host := &universal.Host{Name: spec.name, Graph: hostGraph, Router: spec.r}
 		rep, err := (&universal.EmbeddingSimulator{Host: host}).Run(comp, T)
 		if err != nil {
@@ -178,7 +185,7 @@ type E13Row struct {
 
 // E13AssignmentAblation compares balanced, shuffled, and locality (greedy
 // embedding) placements on a torus host.
-func E13AssignmentAblation(n, T int, seed int64) ([]E13Row, error) {
+func E13AssignmentAblation(ctx context.Context, n, T int, seed int64) ([]E13Row, error) {
 	host, err := universal.TorusHost(64)
 	if err != nil {
 		return nil, err
@@ -214,6 +221,9 @@ func E13AssignmentAblation(n, T int, seed int64) ([]E13Row, error) {
 			{"shuffled", pebble.RandomizedAssignment(n, 64, seed)},
 			{"greedy-locality", greedyEmb.F},
 		} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rep, err := (&universal.EmbeddingSimulator{Host: host, F: aspec.f}).Run(comp, T)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: assignment %s: %w", aspec.name, err)
@@ -258,12 +268,15 @@ type E15Row struct {
 }
 
 // E15BuilderAblation runs both protocol builders across load regimes.
-func E15BuilderAblation(seed int64) ([]E15Row, error) {
+func E15BuilderAblation(ctx context.Context, seed int64) ([]E15Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E15Row
 	for _, tc := range []struct{ n, hostDim, T int }{
 		{32, 3, 4}, {64, 3, 3}, {96, 3, 4}, {48, 4, 4}, {128, 4, 4},
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		guest, err := topology.RandomGuest(rng, tc.n, 4)
 		if err != nil {
 			return nil, err
@@ -338,7 +351,7 @@ type E21Row struct {
 }
 
 // E21MinimizerAblation minimizes protocols from both builders.
-func E21MinimizerAblation(seed int64) ([]E21Row, error) {
+func E21MinimizerAblation(ctx context.Context, seed int64) ([]E21Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, 48, 4)
 	if err != nil {
@@ -358,6 +371,9 @@ func E21MinimizerAblation(seed int64) ([]E21Row, error) {
 	}
 	var rows []E21Row
 	for _, b := range builders {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pr, err := b.build()
 		if err != nil {
 			return nil, err

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestE11Embeddings(t *testing.T) {
-	rows, err := E11Embeddings(64, 4, 41) // butterfly m=64, mesh n=64
+	rows, err := E11Embeddings(context.Background(), 64, 4, 41) // butterfly m=64, mesh n=64
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestE11Embeddings(t *testing.T) {
 }
 
 func TestE12RouterAblation(t *testing.T) {
-	rows, err := E12RouterAblation(128, 4, 3, 43)
+	rows, err := E12RouterAblation(context.Background(), 128, 4, 3, 43)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestE12RouterAblation(t *testing.T) {
 }
 
 func TestE13AssignmentAblation(t *testing.T) {
-	rows, err := E13AssignmentAblation(64, 3, 47)
+	rows, err := E13AssignmentAblation(context.Background(), 64, 3, 47)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestE14ObliviousComplete(t *testing.T) {
 }
 
 func TestE15BuilderAblation(t *testing.T) {
-	rows, err := E15BuilderAblation(59)
+	rows, err := E15BuilderAblation(context.Background(), 59)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestE16Redundancy(t *testing.T) {
 }
 
 func TestE17Baselines(t *testing.T) {
-	rows, err := E17Baselines(256, 3, 67)
+	rows, err := E17Baselines(context.Background(), 256, 3, 67)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestE17Baselines(t *testing.T) {
 }
 
 func TestE18OfflineTheorem21(t *testing.T) {
-	rows, err := E18OfflineTheorem21(128, 3, []int{3, 4, 5}, 71)
+	rows, err := E18OfflineTheorem21(context.Background(), 128, 3, []int{3, 4, 5}, 71)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestE18OfflineTheorem21(t *testing.T) {
 }
 
 func TestE19RouteScaling(t *testing.T) {
-	rows, err := E19RouteScaling([]int{1, 2, 4}, 2, 73)
+	rows, err := E19RouteScaling(context.Background(), []int{1, 2, 4}, 2, 73)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestE19RouteScaling(t *testing.T) {
 }
 
 func TestE20Multibutterfly(t *testing.T) {
-	rows, err := E20Multibutterfly(4, 3, 79)
+	rows, err := E20Multibutterfly(context.Background(), 4, 3, 79)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestE20Multibutterfly(t *testing.T) {
 }
 
 func TestE21MinimizerAblation(t *testing.T) {
-	rows, err := E21MinimizerAblation(83)
+	rows, err := E21MinimizerAblation(context.Background(), 83)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestE21MinimizerAblation(t *testing.T) {
 }
 
 func TestE22Spreading(t *testing.T) {
-	rows, err := E22Spreading(6, 89)
+	rows, err := E22Spreading(context.Background(), 6, 89)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ type E17Row struct {
 
 // E17Baselines runs the comparison for an expander guest over mesh-like,
 // butterfly and expander hosts of (roughly) equal size.
-func E17Baselines(n, T int, seed int64) ([]E17Row, error) {
+func E17Baselines(ctx context.Context, n, T int, seed int64) ([]E17Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, n, 4)
 	if err != nil {
@@ -82,6 +83,9 @@ func E17Baselines(n, T int, seed int64) ([]E17Row, error) {
 	}
 	var rows []E17Row
 	for _, host := range hosts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m := host.Graph.N()
 		cutM, err := expander.BestBalancedCutUpperBound(host.Graph, 400, seed+3)
 		if err != nil {
@@ -156,7 +160,7 @@ type E18Row struct {
 
 // E18OfflineTheorem21 sweeps Beneš dimensions, running the same guest with
 // the offline host and the online butterfly, both trace-verified.
-func E18OfflineTheorem21(n, T int, dims []int, seed int64) ([]E18Row, error) {
+func E18OfflineTheorem21(ctx context.Context, n, T int, dims []int, seed int64) ([]E18Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, n, 4)
 	if err != nil {
@@ -169,6 +173,9 @@ func E18OfflineTheorem21(n, T int, dims []int, seed int64) ([]E18Row, error) {
 	}
 	var rows []E18Row
 	for _, d := range dims {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bh, err := universal.NewBenesHost(d)
 		if err != nil {
 			return nil, err
@@ -239,7 +246,7 @@ type E19Row struct {
 }
 
 // E19RouteScaling measures route_G(h) for the standard hosts.
-func E19RouteScaling(hs []int, trials int, seed int64) ([]E19Row, error) {
+func E19RouteScaling(ctx context.Context, hs []int, trials int, seed int64) ([]E19Row, error) {
 	type hostSpec struct {
 		name string
 		g    *graph.Graph
@@ -260,6 +267,9 @@ func E19RouteScaling(hs []int, trials int, seed int64) ([]E19Row, error) {
 	var rows []E19Row
 	for _, spec := range specs {
 		for _, h := range hs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res, err := routing.MeasureRoute(spec.g, &routing.GreedyRouter{Mode: routing.MultiPort, Seed: seed}, h, trials, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: E19 %s h=%d: %w", spec.name, h, err)
@@ -305,7 +315,7 @@ type E20Row struct {
 
 // E20Multibutterfly measures both directions of the [17] asymmetry, plus
 // the two self-simulations as controls.
-func E20Multibutterfly(d, T int, seed int64) ([]E20Row, error) {
+func E20Multibutterfly(ctx context.Context, d, T int, seed int64) ([]E20Row, error) {
 	bfGraph, err := topology.Butterfly(d)
 	if err != nil {
 		return nil, err
@@ -331,6 +341,9 @@ func E20Multibutterfly(d, T int, seed int64) ([]E20Row, error) {
 			return nil, err
 		}
 		for _, hname := range []string{"butterfly", "multibutterfly"} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rep, err := (&universal.EmbeddingSimulator{Host: hosts[hname]}).Run(comp, T)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: E20 %s on %s: %w", gname, hname, err)
@@ -376,7 +389,7 @@ type E22Row struct {
 }
 
 // E22Spreading measures spreading profiles.
-func E22Spreading(tmax int, seed int64) ([]E22Row, error) {
+func E22Spreading(ctx context.Context, tmax int, seed int64) ([]E22Row, error) {
 	type spec struct {
 		name string
 		g    *graph.Graph
@@ -398,6 +411,9 @@ func E22Spreading(tmax int, seed int64) ([]E22Row, error) {
 	for _, sp := range specs {
 		balls := make([]int, tmax)
 		for t := 1; t <= tmax; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			max := 0
 			for v := 0; v < sp.g.N(); v++ {
 				if b := sp.g.TNeighborhoodSize(v, t); b > max {

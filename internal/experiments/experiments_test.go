@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -195,7 +196,7 @@ func TestE6TreeCache(t *testing.T) {
 }
 
 func TestE7Tradeoff(t *testing.T) {
-	rows, err := E7Tradeoff(24, 3, 3, 3, 6, 19)
+	rows, err := E7Tradeoff(context.Background(), 24, 3, 3, 3, 6, 19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestE7Tradeoff(t *testing.T) {
 }
 
 func TestE8OfflineRouting(t *testing.T) {
-	rows, err := E8OfflineRouting([]int{3, 4, 5}, 3, 23)
+	rows, err := E8OfflineRouting(context.Background(), []int{3, 4, 5}, 3, 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestE8OfflineRouting(t *testing.T) {
 }
 
 func TestE9FragmentMultiplicity(t *testing.T) {
-	res, err := E9FragmentMultiplicity(64, 4, 3, 16, 6, 3, 29)
+	res, err := E9FragmentMultiplicity(context.Background(), 64, 4, 3, 16, 6, 3, 29)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestE9FragmentMultiplicity(t *testing.T) {
 }
 
 func TestE10G0Expansion(t *testing.T) {
-	rows, err := E10G0Expansion([]int{4, 6}, 0.25, 31)
+	rows, err := E10G0Expansion(context.Background(), []int{4, 6}, 0.25, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestRunAllDeterministic(t *testing.T) {
 }
 
 func TestPlotE19(t *testing.T) {
-	rows, err := E19RouteScaling([]int{1, 2, 4}, 1, 3)
+	rows, err := E19RouteScaling(context.Background(), []int{1, 2, 4}, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,7 +31,7 @@ type E7Row struct {
 
 // E7Tradeoff measures the two constructive endpoints of the trade-off and
 // tabulates the analytic curve between them.
-func E7Tradeoff(n, c, depth, hostDim, T int, seed int64) ([]E7Row, error) {
+func E7Tradeoff(ctx context.Context, n, c, depth, hostDim, T int, seed int64) ([]E7Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E7Row
 
@@ -59,6 +60,9 @@ func E7Tradeoff(n, c, depth, hostDim, T int, seed int64) ([]E7Row, error) {
 	})
 
 	// Endpoint ℓ = 2^{O(t)}: tree-cached host, s = c+2 = O(1).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	th, err := buildTreeCacheFor(n, c, depth)
 	if err != nil {
 		return nil, err
@@ -92,6 +96,9 @@ func E7Tradeoff(n, c, depth, hostDim, T int, seed int64) ([]E7Row, error) {
 		}
 		roundComp := sim.MixMod(roundGuest, rng)
 		for _, t0 := range []int{1, 2, 3} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rh, err := universal.BuildRoundedTreeHost(nPow2, c, t0)
 			if err != nil {
 				continue // size guard at large t₀
@@ -180,10 +187,13 @@ type E8Row struct {
 // E8OfflineRouting compares offline Beneš permutation routing with online
 // greedy routing on the butterfly, and measures the h-relation decomposition
 // of §2.
-func E8OfflineRouting(dims []int, h int, seed int64) ([]E8Row, error) {
+func E8OfflineRouting(ctx context.Context, dims []int, h int, seed int64) ([]E8Row, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E8Row
 	for _, d := range dims {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nrows := 1 << d
 		perm := rng.Perm(nrows)
 		off, err := routing.OfflinePermutationSteps(d, perm)
@@ -254,7 +264,7 @@ type E9Result struct {
 // E9FragmentMultiplicity samples guests from 𝒰[G₀], extracts fragments from
 // real protocols and verifies that the neighbors of every P_i lie inside
 // D_i — the fact that drives the multiplicity bound X ≤ Π C(|D_i|, c/2).
-func E9FragmentMultiplicity(n, blockSide, hostDim, c, T, guests int, seed int64) (*E9Result, error) {
+func E9FragmentMultiplicity(ctx context.Context, n, blockSide, hostDim, c, T, guests int, seed int64) (*E9Result, error) {
 	g0, err := topology.BuildG0WithBlockSide(n, blockSide, seed)
 	if err != nil {
 		return nil, err
@@ -267,6 +277,9 @@ func E9FragmentMultiplicity(n, blockSide, hostDim, c, T, guests int, seed int64)
 	rng := rand.New(rand.NewSource(seed + 7))
 	params := core.Params{C: c}.Defaults()
 	for gi := 0; gi < guests; gi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		guest, err := g0.SampleGuest(rng, c)
 		if err != nil {
 			return nil, err
@@ -328,9 +341,12 @@ type E10Row struct {
 }
 
 // E10G0Expansion builds G₀ across sizes and certifies the expander overlay.
-func E10G0Expansion(blockSides []int, alpha float64, seed int64) ([]E10Row, error) {
+func E10G0Expansion(ctx context.Context, blockSides []int, alpha float64, seed int64) ([]E10Row, error) {
 	var rows []E10Row
 	for _, p := range blockSides {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := topology.NextValidG0Size(4*p*p, p)
 		g0, err := topology.BuildG0WithBlockSide(n, p, seed)
 		if err != nil {

@@ -1,137 +1,35 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
 
-// RunAll executes the full evaluation suite E1–E22 with the default
-// parameters and writes every table (or scalar summary) to w — the
-// single-command regeneration of EXPERIMENTS.md's data. It stops at the
-// first failing experiment so a regression is loud.
+// RunAll executes the full evaluation suite E1–E22 sequentially with the
+// default parameters and writes every table (or scalar summary) to w — the
+// single-command regeneration of EXPERIMENTS.md's data. It is a thin
+// wrapper over the Runner (workers=1, fail-fast); callers that want
+// parallelism, subsets, timeouts or structured results use the Runner and
+// Registry directly.
 func RunAll(w io.Writer, seed int64) error {
-	section := func(s string) { fmt.Fprintf(w, "\n%s\n", s) }
+	return WriteReport(context.Background(), w, Registry(), Config{Seed: seed}, 1)
+}
 
-	if rows, err := E1UpperBound(512, 4, 3, []int{3, 4, 5, 6}, seed); err != nil {
-		return fmt.Errorf("E1: %w", err)
-	} else {
-		section(E1Table(512, rows).String())
-		if fig, err := PlotE1(512, rows); err == nil {
-			section(fig)
+// WriteReport runs exps through a fail-fast Runner with the given worker
+// count and writes each experiment's rendered text to w in registry order.
+// Per-experiment seeds are derived from cfg.Seed, so the output is
+// byte-identical for every worker count.
+func WriteReport(ctx context.Context, w io.Writer, exps []Experiment, cfg Config, workers int) error {
+	r := &Runner{Workers: workers, FailFast: true}
+	results, err := r.Run(ctx, exps, cfg)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if _, err := fmt.Fprintf(w, "\n%s\n", res.Text); err != nil {
+			return err
 		}
-	}
-	if rows, err := E2LowerBoundCurve([]float64{10, 16, 24, 32, 48, 64, 1e6, 2e6, 4e6}); err != nil {
-		return fmt.Errorf("E2: %w", err)
-	} else {
-		section(E2Table(rows).String())
-		if fig, err := PlotE2(rows); err == nil {
-			section(fig)
-		}
-	}
-	if rows, err := E3DependencyTrees([]int{4, 6, 8}, seed); err != nil {
-		return fmt.Errorf("E3: %w", err)
-	} else {
-		section(E3Table(rows).String())
-	}
-	if res, err := E4CriticalTimes(64, 4, 3, 16, 24, seed); err != nil {
-		return fmt.Errorf("E4: %w", err)
-	} else {
-		section(fmt.Sprintf("E4 (Lemma 3.12): |Z_S|=%d ≥ %d; inequalities violated: (1)=%v (2)=%v; k=%.1f",
-			res.ZSize, res.ZLowerBound, res.Ineq1Violated, res.Ineq2Violated, res.K))
-	}
-	if res, err := E5Frontier(64, 4, 3, 8, 0.4, seed); err != nil {
-		return fmt.Errorf("E5: %w", err)
-	} else {
-		section(E5Table(res).String())
-	}
-	if rows, err := E6TreeCache(8, 2, []int{2, 3, 4, 5}, seed); err != nil {
-		return fmt.Errorf("E6: %w", err)
-	} else {
-		section(E6Table(rows).String())
-	}
-	if rows, err := E7Tradeoff(24, 3, 3, 3, 6, seed); err != nil {
-		return fmt.Errorf("E7: %w", err)
-	} else {
-		section(E7Table(rows).String())
-	}
-	if rows, err := E8OfflineRouting([]int{3, 4, 5, 6, 7}, 3, seed); err != nil {
-		return fmt.Errorf("E8: %w", err)
-	} else {
-		section(E8Table(rows).String())
-	}
-	if res, err := E9FragmentMultiplicity(64, 4, 3, 16, 6, 3, seed); err != nil {
-		return fmt.Errorf("E9: %w", err)
-	} else {
-		section(fmt.Sprintf("E9 (Lemma 3.3): edge inclusion=%v; max|D_i|=%d; log2 X ≤ %.1f vs log2|U[G0]| ≥ %.1f",
-			res.EdgeInclOK, res.MaxD, res.Log2XBound, res.Log2GuestLB))
-	}
-	if rows, err := E10G0Expansion([]int{4, 6, 8}, 0.25, seed); err != nil {
-		return fmt.Errorf("E10: %w", err)
-	} else {
-		section(E10Table(rows).String())
-	}
-	if rows, err := E11Embeddings(64, 4, seed); err != nil {
-		return fmt.Errorf("E11: %w", err)
-	} else {
-		section(E11Table(rows).String())
-	}
-	if rows, err := E12RouterAblation(128, 4, 3, seed); err != nil {
-		return fmt.Errorf("E12: %w", err)
-	} else {
-		section(E12Table(rows).String())
-	}
-	if rows, err := E13AssignmentAblation(64, 3, seed); err != nil {
-		return fmt.Errorf("E13: %w", err)
-	} else {
-		section(E13Table(rows).String())
-	}
-	if rows, err := E14ObliviousComplete(256, 3, []int{3, 4, 5}, seed); err != nil {
-		return fmt.Errorf("E14: %w", err)
-	} else {
-		section(E14Table(256, rows).String())
-	}
-	if rows, err := E15BuilderAblation(seed); err != nil {
-		return fmt.Errorf("E15: %w", err)
-	} else {
-		section(E15Table(rows).String())
-	}
-	if rows, err := E16Redundancy(48, 3, seed); err != nil {
-		return fmt.Errorf("E16: %w", err)
-	} else {
-		section(E16Table(rows).String())
-	}
-	if rows, err := E17Baselines(256, 3, seed); err != nil {
-		return fmt.Errorf("E17: %w", err)
-	} else {
-		section(E17Table(256, rows).String())
-	}
-	if rows, err := E18OfflineTheorem21(128, 3, []int{3, 4, 5}, seed); err != nil {
-		return fmt.Errorf("E18: %w", err)
-	} else {
-		section(E18Table(128, rows).String())
-	}
-	if rows, err := E19RouteScaling([]int{1, 2, 4, 8}, 3, seed); err != nil {
-		return fmt.Errorf("E19: %w", err)
-	} else {
-		section(E19Table(rows).String())
-		if fig, err := PlotE19(rows); err == nil {
-			section(fig)
-		}
-	}
-	if rows, err := E20Multibutterfly(4, 3, seed); err != nil {
-		return fmt.Errorf("E20: %w", err)
-	} else {
-		section(E20Table(rows).String())
-	}
-	if rows, err := E21MinimizerAblation(seed); err != nil {
-		return fmt.Errorf("E21: %w", err)
-	} else {
-		section(E21Table(rows).String())
-	}
-	if rows, err := E22Spreading(6, seed); err != nil {
-		return fmt.Errorf("E22: %w", err)
-	} else {
-		section(E22Table(rows).String())
 	}
 	return nil
 }

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes a set of registered experiments on a bounded worker
+// pool. Results come back in input order regardless of completion order,
+// and every experiment gets a seed derived purely from (root seed, id), so
+// a parallel run is byte-identical to a sequential one.
+type Runner struct {
+	// Workers bounds the number of experiments in flight; 0 (or negative)
+	// means GOMAXPROCS.
+	Workers int
+	// Timeout, when positive, caps the whole run; the context handed to
+	// experiment bodies expires after it.
+	Timeout time.Duration
+	// FailFast cancels the remaining experiments as soon as one fails.
+	// Otherwise the runner keeps going and collects every error.
+	FailFast bool
+}
+
+// Run executes exps and returns one Result per experiment, in input
+// order. A failed experiment's Result carries its error; the returned
+// error joins all of them (nil when everything succeeded). Cancellation —
+// an expired ctx, a Timeout, or FailFast after a failure — marks the
+// not-yet-finished experiments with the context's error and returns
+// promptly without leaking goroutines.
+func (r *Runner) Run(ctx context.Context, exps []Experiment, cfg Config) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	results := make([]Result, len(exps))
+	jobs := make(chan int, len(exps))
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(runCtx, exps[i], cfg)
+				if results[i].Err != nil && r.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", results[i].ID, err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runOne executes a single experiment, stamping id, derived seed and
+// wall-clock duration. A canceled context short-circuits without invoking
+// the body, so queued work drains promptly after cancellation.
+func runOne(ctx context.Context, e Experiment, cfg Config) Result {
+	res := Result{ID: e.ID, Seed: cfg.SeedFor(e.ID)}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	out, err := e.Run(ctx, cfg)
+	res.Duration = time.Since(start)
+	res.Text = out.Text
+	res.Payload = out.Payload
+	res.Err = err
+	return res
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 22 {
+		t.Fatalf("Registry: got %d experiments, want 22", len(reg))
+	}
+	for i, e := range reg {
+		wantID := fmt.Sprintf("E%d", i+1)
+		if e.ID != wantID {
+			t.Errorf("Registry[%d].ID = %q, want %q", i, e.ID, wantID)
+		}
+		if e.Claim == "" {
+			t.Errorf("%s: empty Claim", e.ID)
+		}
+		if e.Modules == "" {
+			t.Errorf("%s: empty Modules", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil Run", e.ID)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatalf("Select(nil): %v", err)
+	}
+	if len(all) != 22 {
+		t.Fatalf("Select(nil): got %d, want 22", len(all))
+	}
+
+	sel, err := Select([]string{" e4", "E1 ", "e12"})
+	if err != nil {
+		t.Fatalf("Select subset: %v", err)
+	}
+	got := make([]string, len(sel))
+	for i, e := range sel {
+		got[i] = e.ID
+	}
+	// Registry order, not request order.
+	if want := "E1 E4 E12"; strings.Join(got, " ") != want {
+		t.Fatalf("Select subset: got %v, want %s", got, want)
+	}
+
+	if _, err := Select([]string{"E1", "E99"}); err == nil {
+		t.Fatal("Select with unknown id: want error, got nil")
+	}
+	if _, err := Select([]string{"E3", "e3"}); err == nil {
+		t.Fatal("Select with duplicate id: want error, got nil")
+	}
+}
+
+func TestSeedFor(t *testing.T) {
+	cfg := Config{Seed: 1}
+	if a, b := cfg.SeedFor("E7"), cfg.SeedFor("E7"); a != b {
+		t.Fatalf("SeedFor not pure: %d vs %d", a, b)
+	}
+	seen := make(map[int64]string)
+	for _, e := range Registry() {
+		s := cfg.SeedFor(e.ID)
+		if s < 0 {
+			t.Errorf("SeedFor(%s) = %d, want non-negative", e.ID, s)
+		}
+		if prev, ok := seen[s]; ok {
+			t.Errorf("SeedFor collision: %s and %s both get %d", prev, e.ID, s)
+		}
+		seen[s] = e.ID
+	}
+	if (Config{Seed: 1}).SeedFor("E1") == (Config{Seed: 2}).SeedFor("E1") {
+		t.Error("SeedFor ignores the root seed")
+	}
+}
+
+// TestRunnerParallelDeterminism is the suite-level invariant behind
+// -parallel: with per-experiment seeds derived from the root seed, the
+// rendered table text must be byte-identical whether the suite runs on one
+// worker or eight.
+func TestRunnerParallelDeterminism(t *testing.T) {
+	exps := Registry()
+	cfg := Config{Seed: 1}
+
+	seq := &Runner{Workers: 1, FailFast: true}
+	seqRes, err := seq.Run(context.Background(), exps, cfg)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	par := &Runner{Workers: 8, FailFast: true}
+	parRes, err := par.Run(context.Background(), exps, cfg)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+
+	if len(seqRes) != len(parRes) {
+		t.Fatalf("result count: %d vs %d", len(seqRes), len(parRes))
+	}
+	for i := range seqRes {
+		if seqRes[i].ID != parRes[i].ID {
+			t.Fatalf("result %d: order differs, %s vs %s", i, seqRes[i].ID, parRes[i].ID)
+		}
+		if seqRes[i].Seed != parRes[i].Seed {
+			t.Errorf("%s: derived seed differs, %d vs %d", seqRes[i].ID, seqRes[i].Seed, parRes[i].Seed)
+		}
+		if seqRes[i].Text != parRes[i].Text {
+			t.Errorf("%s: table text differs between workers=1 and workers=8", seqRes[i].ID)
+		}
+	}
+}
+
+// fakeExp builds a registry-shaped experiment for runner behavior tests.
+func fakeExp(id string, run func(ctx context.Context, cfg Config) (Result, error)) Experiment {
+	return Experiment{ID: id, Claim: "test", Modules: "test", Run: run}
+}
+
+func TestRunnerExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	before := runtime.NumGoroutine()
+	bodyRan := false
+	exps := []Experiment{
+		fakeExp("X1", func(context.Context, Config) (Result, error) {
+			bodyRan = true
+			return Result{}, nil
+		}),
+		fakeExp("X2", func(context.Context, Config) (Result, error) {
+			bodyRan = true
+			return Result{}, nil
+		}),
+	}
+
+	r := &Runner{Workers: 2}
+	start := time.Now()
+	results, err := r.Run(ctx, exps, Config{Seed: 1})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("expired context: run took %v, want prompt return", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired context: err = %v, want DeadlineExceeded", err)
+	}
+	if bodyRan {
+		t.Error("expired context: experiment body still ran")
+	}
+	for _, res := range results {
+		if !errors.Is(res.Err, context.DeadlineExceeded) {
+			t.Errorf("%s: Err = %v, want DeadlineExceeded", res.ID, res.Err)
+		}
+	}
+
+	// All workers must have drained: allow a little scheduler slack, then
+	// require the goroutine count back at (or below) the starting level.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	exps := []Experiment{
+		fakeExp("SLOW", func(ctx context.Context, _ Config) (Result, error) {
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		}),
+	}
+	r := &Runner{Workers: 1, Timeout: 20 * time.Millisecond}
+	_, err := r.Run(context.Background(), exps, Config{Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Timeout: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRunnerFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		fakeExp("BAD", func(context.Context, Config) (Result, error) {
+			return Result{}, boom
+		}),
+		fakeExp("NEXT", func(context.Context, Config) (Result, error) {
+			return Result{Text: "ok"}, nil
+		}),
+	}
+
+	// Fail-fast on one worker: the failure cancels the run before NEXT
+	// starts, so NEXT is marked with the cancellation error.
+	r := &Runner{Workers: 1, FailFast: true}
+	results, err := r.Run(context.Background(), exps, Config{Seed: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fail-fast: err = %v, want boom", err)
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("fail-fast: NEXT.Err = %v, want Canceled", results[1].Err)
+	}
+
+	// Collect-all: NEXT still runs and only BAD's error is reported.
+	r = &Runner{Workers: 1}
+	results, err = r.Run(context.Background(), exps, Config{Seed: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("collect-all: err = %v, want boom", err)
+	}
+	if results[1].Err != nil || results[1].Text != "ok" {
+		t.Errorf("collect-all: NEXT = {Text:%q Err:%v}, want it to run clean", results[1].Text, results[1].Err)
+	}
+	if !strings.Contains(err.Error(), "BAD") {
+		t.Errorf("collect-all: joined error %q does not name the failing id", err)
+	}
+}
+
+func TestRunnerStampsResults(t *testing.T) {
+	exps := []Experiment{
+		fakeExp("X1", func(ctx context.Context, cfg Config) (Result, error) {
+			time.Sleep(time.Millisecond)
+			return Result{Text: "body", Payload: map[string]any{"k": 1}}, nil
+		}),
+	}
+	r := &Runner{}
+	results, err := r.Run(context.Background(), exps, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.ID != "X1" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	if want := (Config{Seed: 7}).SeedFor("X1"); res.Seed != want {
+		t.Errorf("Seed = %d, want %d", res.Seed, want)
+	}
+	if res.Text != "body" || res.Payload["k"] != 1 {
+		t.Errorf("Text/Payload not propagated: %+v", res)
+	}
+	if res.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", res.Duration)
+	}
+}
