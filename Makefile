@@ -19,13 +19,13 @@ check:
 test: check
 	$(GO) test ./...
 
-test-race:
+test-race: check
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the full E1..E22 evaluation suite and print every table + figure.
+# Run the full E1..E23 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.
 report: build
 	$(GO) run ./cmd/uninet report $(REPORT_FLAGS)

@@ -15,6 +15,7 @@ import (
 	"universalnet/internal/depgraph"
 	"universalnet/internal/expander"
 	"universalnet/internal/experiments"
+	"universalnet/internal/faults"
 	"universalnet/internal/graph"
 	"universalnet/internal/pebble"
 	"universalnet/internal/routing"
@@ -398,6 +399,8 @@ func cmdExperiment(args []string) error {
 	failFast := fs.Bool("failfast", false, "cancel remaining experiments on the first failure")
 	list := fs.Bool("list", false, "list the registered experiments and exit")
 	seed := fs.Int64("seed", 1, "root random seed (per-experiment seeds are derived from it)")
+	faultScenario := fs.String("faults", "", "named fault scenario for fault-aware experiments: "+strings.Join(faults.ScenarioNames(), "|"))
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -417,16 +420,35 @@ func cmdExperiment(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runExperiments(exps, *seed, *parallel, *timeout, *failFast, *jsonOut)
+	cfg, err := experimentConfig(*seed, *faultScenario, *faultSeed)
+	if err != nil {
+		return err
+	}
+	return runExperiments(exps, cfg, *parallel, *timeout, *failFast, *jsonOut)
+}
+
+// experimentConfig assembles the suite Config, validating a named fault
+// scenario early so a typo fails before any experiment runs.
+func experimentConfig(seed int64, faultScenario string, faultSeed int64) (experiments.Config, error) {
+	cfg := experiments.Config{Seed: seed, FaultScenario: faultScenario, FaultSeed: faultSeed}
+	if faultScenario != "" {
+		// Resolve against a token host to validate the name only; the
+		// experiment resolves it against its real m and T.
+		if _, err := faults.Scenario(faultScenario, faultSeed, 2, 1); err != nil {
+			return experiments.Config{}, err
+		}
+	}
+	return cfg, nil
 }
 
 // listExperiments renders the registry as an id → claim → modules table.
 func listExperiments() string {
+	reg := experiments.Registry()
 	tab := &experiments.Table{
-		Title:   "Registered experiments (E1..E22)",
+		Title:   fmt.Sprintf("Registered experiments (E1..E%d)", len(reg)),
 		Columns: []string{"id", "claim", "modules"},
 	}
-	for _, e := range experiments.Registry() {
+	for _, e := range reg {
 		tab.Rows = append(tab.Rows, []string{e.ID, e.Claim, e.Modules})
 	}
 	return tab.String()
@@ -436,9 +458,9 @@ func listExperiments() string {
 // lines) to stdout. The returned error aggregates every failed experiment;
 // table output carries no timings so it is byte-identical across worker
 // counts.
-func runExperiments(exps []experiments.Experiment, seed int64, parallel int, timeout time.Duration, failFast, jsonOut bool) error {
+func runExperiments(exps []experiments.Experiment, cfg experiments.Config, parallel int, timeout time.Duration, failFast, jsonOut bool) error {
 	r := &experiments.Runner{Workers: parallel, Timeout: timeout, FailFast: failFast}
-	results, runErr := r.Run(context.Background(), exps, experiments.Config{Seed: seed})
+	results, runErr := r.Run(context.Background(), exps, cfg)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, res := range results {
@@ -575,6 +597,8 @@ func cmdReport(args []string) error {
 	parallel := fs.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
 	timeout := fs.Duration("timeout", 0, "overall deadline, e.g. 90s (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment instead of tables")
+	faultScenario := fs.String("faults", "", "named fault scenario for fault-aware experiments: "+strings.Join(faults.ScenarioNames(), "|"))
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -586,7 +610,11 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runExperiments(exps, *seed, *parallel, *timeout, true, *jsonOut)
+	cfg, err := experimentConfig(*seed, *faultScenario, *faultSeed)
+	if err != nil {
+		return err
+	}
+	return runExperiments(exps, cfg, *parallel, *timeout, true, *jsonOut)
 }
 
 // cmdGap prints the conclusion's open-problem table: the host size needed

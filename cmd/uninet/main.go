@@ -8,7 +8,7 @@
 //	tradeoff   — print the m·s vs n·log m trade-off table
 //	pebble     — build and validate a pebble-game protocol; print statistics
 //	figure1    — render the Figure 1 dependency tree
-//	experiment — run a subset of the E1..E22 suite (parallel runner, JSON)
+//	experiment — run a subset of the E1..E23 suite (parallel runner, JSON)
 //	report     — run the full suite and print every table
 //
 // Every subcommand takes -seed for reproducibility and prints plain tables.
@@ -75,10 +75,10 @@ commands:
   tradeoff   -n N -ms 256,1024,4096 [-toy]
   pebble     -n N -deg C -hostdim D -steps T [-seed S]
   figure1    [-blockside P] [-seed S]
-  experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S]
+  experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S] [-faults NAME] [-fault-seed S]
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
-  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S]   (full E1..E22 suite)
+  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S]   (full E1..E23 suite)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)
 }

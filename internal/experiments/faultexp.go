@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"universalnet/internal/faults"
+	"universalnet/internal/sim"
+	"universalnet/internal/topology"
+	"universalnet/internal/universal"
+)
+
+// E23 — the measured trade-off curve under degradation. The paper's
+// m·s = Ω(n·log m) is a statement about ideal hosts of size m; crashing k
+// processors forces a live run from m down to m−k, so sweeping k (and a
+// message-loss rate) measures how the slowdown climbs as the host shrinks —
+// the trade-off's size axis traversed dynamically, with every recovered
+// trace checked byte-identical against direct execution.
+
+// E23Row is one cell of the fault sweep.
+type E23Row struct {
+	Scenario   string          `json:"scenario"` // "sweep" rows or a named scenario
+	Crashes    int             `json:"crashes"`
+	LossRate   float64         `json:"loss_rate"`
+	M          int             `json:"m"`
+	Survivors  int             `json:"survivors"`
+	N          int             `json:"n"`
+	R          int             `json:"r"` // replication degree
+	Slowdown   float64         `json:"slowdown"`
+	RouteSteps int             `json:"route_steps"`
+	Recovered  bool            `json:"recovered"` // run completed (no ErrUnrecoverable)
+	Verified   bool            `json:"verified"`  // trace byte-identical to direct execution
+	Counters   faults.Counters `json:"counters"`
+}
+
+// E23FaultTolerance sweeps crash count × loss rate on a replicated
+// butterfly host (m = 64), or — when scenario names one of the
+// faults.Scenario presets — runs the guest once under that scenario against
+// a fault-free baseline. Rows are fully determined by (seed, scenario,
+// faultSeed): byte-identical across worker counts and re-runs.
+func E23FaultTolerance(ctx context.Context, n, r, T int, seed int64, scenario string, faultSeed int64) ([]E23Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	guest, err := topology.RandomGuest(rng, n, 4)
+	if err != nil {
+		return nil, err
+	}
+	comp := sim.MixMod(guest, rng)
+	direct, err := comp.Run(T)
+	if err != nil {
+		return nil, err
+	}
+	host, err := universal.ButterflyHost(4) // m = 64
+	if err != nil {
+		return nil, err
+	}
+	m := host.Graph.N()
+	reps, err := universal.PlaceReplicas(n, m, r, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	runPlan := func(label string, plan *faults.Plan, replicas [][]int, rr int) (E23Row, error) {
+		row := E23Row{Scenario: label, M: m, N: n, R: rr, Survivors: m}
+		if plan != nil {
+			row.Crashes = len(plan.Crashes)
+			row.LossRate = plan.DropRate
+		}
+		rep, err := (&universal.FaultTolerantSimulator{Host: host, Replicas: replicas, Plan: plan}).Run(comp, T)
+		if err != nil {
+			if errors.Is(err, universal.ErrUnrecoverable) {
+				return row, nil // Recovered=false: the checked failure mode
+			}
+			return row, err
+		}
+		row.Recovered = true
+		row.Verified = rep.Trace.Checksum() == direct.Checksum()
+		row.Survivors = rep.SurvivingHosts
+		row.Slowdown = rep.Slowdown
+		row.RouteSteps = rep.RouteSteps
+		row.Counters = rep.Counters
+		return row, nil
+	}
+
+	var rows []E23Row
+	if scenario != "" {
+		for _, name := range []string{"none", scenario} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			plan, err := faults.Scenario(name, faultSeed, m, T)
+			if err != nil {
+				return nil, err
+			}
+			row, err := runPlan(name, plan, reps, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if name == scenario {
+				break // scenario == "none" needs no second run
+			}
+		}
+		return rows, nil
+	}
+
+	// Default sweep: k crashes at mid-run (distinct hosts drawn from the
+	// derived seed) × message-loss rates. The k = 0, loss = 0 cell is the
+	// ideal-host baseline the degraded cells are read against.
+	crashSteps := T/2 + 1
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		var crashes []faults.Crash
+		perm := rand.New(rand.NewSource(seed + 101)).Perm(m)
+		for i := 0; i < k; i++ {
+			crashes = append(crashes, faults.Crash{Host: perm[i], Step: crashSteps})
+		}
+		for _, loss := range []float64{0, 0.05, 0.15} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			plan := &faults.Plan{
+				Name:     fmt.Sprintf("k=%d,loss=%.2f", k, loss),
+				Seed:     faultSeed + int64(k),
+				Crashes:  crashes,
+				DropRate: loss,
+				Onset:    1,
+			}
+			row, err := runPlan("sweep", plan, reps, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	// The unrecoverable demonstration: without replication (r = 1), any
+	// crash of a populated host must yield ErrUnrecoverable — never a wrong
+	// trace.
+	perm := rand.New(rand.NewSource(seed + 101)).Perm(m)
+	bare := &faults.Plan{
+		Name:    "r=1,k=1",
+		Seed:    faultSeed,
+		Crashes: []faults.Crash{{Host: perm[0] % n, Step: crashSteps}},
+	}
+	row, err := runPlan("r=1", bare, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// E23Table formats the fault sweep.
+func E23Table(rows []E23Row) *Table {
+	t := &Table{
+		Title: "E23: slowdown under faults — crashing k hosts walks the trade-off from m to m−k",
+		Columns: []string{"scenario", "k", "loss", "m→survivors", "r", "slowdown",
+			"route steps", "retried", "failover", "reembed", "recovered", "verified"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario, fmt.Sprint(r.Crashes), fmt.Sprintf("%.2f", r.LossRate),
+			fmt.Sprintf("%d→%d", r.M, r.Survivors), fmt.Sprint(r.R),
+			fmt.Sprintf("%.1f", r.Slowdown), fmt.Sprint(r.RouteSteps),
+			fmt.Sprint(r.Counters.Retried), fmt.Sprint(r.Counters.FailedOver),
+			fmt.Sprint(r.Counters.ReEmbedded), fmt.Sprint(r.Recovered), fmt.Sprint(r.Verified),
+		})
+	}
+	return t
+}
+
+// E23Counters aggregates the fault-event counters of a run's rows for the
+// JSON payload.
+func E23Counters(rows []E23Row) faults.Counters {
+	var total faults.Counters
+	for _, r := range rows {
+		total.Add(r.Counters)
+	}
+	return total
+}

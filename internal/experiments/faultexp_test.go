@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestE23SweepShapeAndDeterminism(t *testing.T) {
+	rows, err := E23FaultTolerance(context.Background(), 24, 3, 6, 42, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := E23FaultTolerance(context.Background(), 24, 3, 6, 42, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("E23 sweep not deterministic")
+	}
+	if len(rows) != 16 { // 5 crash counts × 3 loss rates + the r=1 row
+		t.Fatalf("got %d rows", len(rows))
+	}
+	base := rows[0]
+	if base.Crashes != 0 || base.LossRate != 0 || !base.Recovered || !base.Verified {
+		t.Fatalf("baseline row malformed: %+v", base)
+	}
+	for _, r := range rows[:len(rows)-1] {
+		if !r.Recovered {
+			t.Errorf("sweep cell k=%d loss=%.2f unrecoverable", r.Crashes, r.LossRate)
+			continue
+		}
+		if !r.Verified {
+			t.Errorf("sweep cell k=%d loss=%.2f recovered but trace unverified", r.Crashes, r.LossRate)
+		}
+		if r.Survivors != r.M-r.Crashes {
+			t.Errorf("k=%d: survivors %d, want %d", r.Crashes, r.Survivors, r.M-r.Crashes)
+		}
+		if r.LossRate > 0 && r.Counters.Retried == 0 {
+			t.Errorf("loss=%.2f cell saw no retries", r.LossRate)
+		}
+		if r.Crashes > 0 && r.Counters.ReEmbedded == 0 {
+			t.Errorf("k=%d cell re-embedded nothing", r.Crashes)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.R != 1 || last.Recovered || last.Verified {
+		t.Errorf("r=1 crash row must be cleanly unrecoverable: %+v", last)
+	}
+	if E23Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+	if E23Counters(rows).ReEmbedded == 0 {
+		t.Error("aggregated counters lost the re-embeds")
+	}
+}
+
+func TestE23NamedScenario(t *testing.T) {
+	rows, err := E23FaultTolerance(context.Background(), 24, 3, 6, 42, "crash2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want baseline + scenario", len(rows))
+	}
+	if rows[0].Scenario != "none" || !rows[0].Recovered || !rows[0].Verified {
+		t.Errorf("baseline row malformed: %+v", rows[0])
+	}
+	if rows[1].Scenario != "crash2" || rows[1].Crashes != 2 {
+		t.Errorf("scenario row malformed: %+v", rows[1])
+	}
+	if rows[1].Recovered && !rows[1].Verified {
+		t.Error("recovered scenario run must be trace-verified")
+	}
+}
+
+func TestE23Canceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := E23FaultTolerance(ctx, 24, 3, 6, 42, "", 1); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

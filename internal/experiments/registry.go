@@ -16,6 +16,12 @@ type Config struct {
 	// Seed is the root seed of the run; per-experiment seeds are derived
 	// from it with SeedFor.
 	Seed int64
+	// FaultScenario optionally names a faults.Scenario preset; experiments
+	// wired for fault injection (currently E23) run under it instead of
+	// their default fault sweep. Empty means no override.
+	FaultScenario string
+	// FaultSeed drives the scenario's deterministic fault schedule.
+	FaultSeed int64
 }
 
 // splitmix64 is the SplitMix64 mixing function (Steele et al.) — a
@@ -60,7 +66,7 @@ type Experiment struct {
 	Run     func(ctx context.Context, cfg Config) (Result, error)
 }
 
-// Registry returns the full evaluation suite E1–E22 with the default
+// Registry returns the full evaluation suite E1–E23 with the default
 // parameters of EXPERIMENTS.md, in id order. The slice is freshly built on
 // every call, so callers may reorder or subset it freely.
 func Registry() []Experiment {
@@ -343,6 +349,21 @@ func Registry() []Experiment {
 					return Result{}, err
 				}
 				return Result{Text: E22Table(rows).String(), Payload: map[string]any{"rows": rows}}, nil
+			},
+		},
+		{
+			ID:      "E23",
+			Claim:   "Dynamic trade-off: crashing k hosts walks m → m−k; recovery is checked, never silent",
+			Modules: "faults,universal,routing,sim",
+			Run: func(ctx context.Context, cfg Config) (Result, error) {
+				rows, err := E23FaultTolerance(ctx, 24, 3, 6, cfg.SeedFor("E23"), cfg.FaultScenario, cfg.FaultSeed)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Text: E23Table(rows).String(), Payload: map[string]any{
+					"rows":     rows,
+					"counters": E23Counters(rows).Map(),
+				}}, nil
 			},
 		},
 	}

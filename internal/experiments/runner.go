@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -84,18 +85,37 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, cfg Config) ([]Resu
 
 // runOne executes a single experiment, stamping id, derived seed and
 // wall-clock duration. A canceled context short-circuits without invoking
-// the body, so queued work drains promptly after cancellation.
-func runOne(ctx context.Context, e Experiment, cfg Config) Result {
-	res := Result{ID: e.ID, Seed: cfg.SeedFor(e.ID)}
+// the body, so queued work drains promptly after cancellation. A panicking
+// experiment body is confined to its own Result — the panic becomes that
+// experiment's Err (with a stack snippet) instead of killing the whole
+// worker pool.
+func runOne(ctx context.Context, e Experiment, cfg Config) (res Result) {
+	res = Result{ID: e.ID, Seed: cfg.SeedFor(e.ID)}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
 	}
 	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("experiment panicked: %v\n%s", r, stackSnippet())
+		}
+	}()
 	out, err := e.Run(ctx, cfg)
-	res.Duration = time.Since(start)
 	res.Text = out.Text
 	res.Payload = out.Payload
 	res.Err = err
 	return res
+}
+
+// stackSnippet returns the head of the current goroutine's stack, bounded so
+// a panicking experiment cannot flood the joined error output.
+func stackSnippet() []byte {
+	const limit = 2048
+	buf := debug.Stack()
+	if len(buf) > limit {
+		buf = append(buf[:limit], []byte("\n... (stack truncated)")...)
+	}
+	return buf
 }

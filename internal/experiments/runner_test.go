@@ -12,8 +12,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 22 {
-		t.Fatalf("Registry: got %d experiments, want 22", len(reg))
+	if len(reg) != 23 {
+		t.Fatalf("Registry: got %d experiments, want 23", len(reg))
 	}
 	for i, e := range reg {
 		wantID := fmt.Sprintf("E%d", i+1)
@@ -37,8 +37,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Select(nil): %v", err)
 	}
-	if len(all) != 22 {
-		t.Fatalf("Select(nil): got %d, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("Select(nil): got %d, want 23", len(all))
 	}
 
 	sel, err := Select([]string{" e4", "E1 ", "e12"})
@@ -216,6 +216,58 @@ func TestRunnerFailFast(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "BAD") {
 		t.Errorf("collect-all: joined error %q does not name the failing id", err)
+	}
+}
+
+// TestRunnerRecoversPanics: a panicking experiment body must become that
+// experiment's Result.Err — with a stack snippet — while the rest of the
+// pool keeps running to completion.
+func TestRunnerRecoversPanics(t *testing.T) {
+	exps := []Experiment{
+		fakeExp("OK1", func(context.Context, Config) (Result, error) {
+			return Result{Text: "ok1"}, nil
+		}),
+		fakeExp("BOOM", func(context.Context, Config) (Result, error) {
+			panic("index out of range [99] with length 3")
+		}),
+		fakeExp("OK2", func(context.Context, Config) (Result, error) {
+			return Result{Text: "ok2"}, nil
+		}),
+	}
+	r := &Runner{Workers: 2}
+	results, err := r.Run(context.Background(), exps, Config{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "BOOM") {
+		t.Fatalf("joined error %v does not name the panicking experiment", err)
+	}
+	if results[0].Err != nil || results[0].Text != "ok1" {
+		t.Errorf("OK1 disturbed by sibling panic: %+v", results[0])
+	}
+	if results[2].Err != nil || results[2].Text != "ok2" {
+		t.Errorf("OK2 disturbed by sibling panic: %+v", results[2])
+	}
+	perr := results[1].Err
+	if perr == nil {
+		t.Fatal("BOOM has no error")
+	}
+	msg := perr.Error()
+	if !strings.Contains(msg, "experiment panicked") || !strings.Contains(msg, "index out of range") {
+		t.Errorf("panic error lacks the panic value: %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") && !strings.Contains(msg, "runner") {
+		t.Errorf("panic error lacks a stack snippet: %q", msg)
+	}
+	if results[1].Duration <= 0 {
+		t.Error("panicking experiment not stamped with a duration")
+	}
+
+	// FailFast must also survive a panic: it is a failure like any other.
+	r = &Runner{Workers: 1, FailFast: true}
+	results, err = r.Run(context.Background(), exps[1:], Config{Seed: 1})
+	if err == nil {
+		t.Fatal("fail-fast run with panic returned nil error")
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("fail-fast after panic: OK2.Err = %v, want Canceled", results[1].Err)
 	}
 }
 

@@ -1,0 +1,305 @@
+// Package faults is the deterministic fault-injection layer of the
+// laboratory. The paper's trade-off m·s = Ω(n·log m) quantifies over ideal
+// hosts; this package lets every simulation run against a degraded one. A
+// crash of k host processors is a forced move down the size axis from m to
+// m−k, so injecting faults turns the static trade-off curve into one we can
+// measure dynamically (see experiment E23).
+//
+// Three fault classes are modeled:
+//
+//   - processor crashes: a host processor dies at a scheduled guest step and
+//     never recovers; every replica it held is lost and its links go silent;
+//   - permanent link failures: an individual host edge dies at a scheduled
+//     guest step;
+//   - message faults: per-packet drop, duplication, and corruption applied to
+//     every routing phase from a configurable onset step, at configurable
+//     rates.
+//
+// Everything is deterministic. Scheduled events (crashes, link failures)
+// carry explicit step numbers; per-packet message fates are pure functions of
+// (plan seed, guest step, retry attempt, packet index) via SplitMix64, so the
+// same plan and seed reproduce the exact same fault pattern regardless of
+// execution order, worker count, or wall-clock.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+// Crash schedules the permanent death of one host processor: from guest step
+// Step onward (events apply at the start of the step), Host holds no state
+// and moves no packets.
+type Crash struct {
+	Host int `json:"host"`
+	Step int `json:"step"`
+}
+
+// LinkFailure schedules the permanent death of the host edge {U, V} from
+// guest step Step onward.
+type LinkFailure struct {
+	U    int `json:"u"` // canonical order not required; normalized on use
+	V    int `json:"v"`
+	Step int `json:"step"`
+}
+
+// Plan is a complete, deterministic fault schedule. The zero value injects
+// nothing. Plans are pure data: the same plan produces the same fault
+// pattern in every run.
+type Plan struct {
+	// Name labels the plan in reports ("" for ad-hoc plans).
+	Name string
+	// Seed drives the per-packet message-fault decisions. Two plans with the
+	// same rates but different seeds drop different packets.
+	Seed int64
+	// Crashes and LinkFailures are the scheduled permanent faults.
+	Crashes      []Crash
+	LinkFailures []LinkFailure
+	// DropRate, DupRate and CorruptRate are per-packet probabilities in
+	// [0, 1), applied independently per routing attempt. Corrupted packets
+	// are assumed to be detected (payload checksum) and discarded by the
+	// receiver, so they cost a delivery and force a retry, like drops, but
+	// are counted separately.
+	DropRate    float64
+	DupRate     float64
+	CorruptRate float64
+	// Onset is the first guest step at which message faults apply; earlier
+	// phases route cleanly. Scheduled crashes/link failures are unaffected.
+	Onset int
+	// MaxRetries bounds the retry rounds a routing phase may spend on
+	// dropped or corrupted packets before the phase is declared lost.
+	// 0 means DefaultMaxRetries.
+	MaxRetries int
+}
+
+// DefaultMaxRetries is the retry budget used when Plan.MaxRetries is 0.
+const DefaultMaxRetries = 8
+
+// Validate checks rates and event coordinates (host/step ranges are only
+// checkable against a concrete host, so this validates shape: rates in
+// [0, 1), non-negative steps, non-negative retry budget).
+func (p *Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.DropRate}, {"dup", p.DupRate}, {"corrupt", p.CorruptRate}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0,1)", r.name, r.v)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Step < 1 {
+			return fmt.Errorf("faults: crash of host %d at step %d (steps start at 1)", c.Host, c.Step)
+		}
+		if c.Host < 0 {
+			return fmt.Errorf("faults: crash of negative host %d", c.Host)
+		}
+	}
+	for _, l := range p.LinkFailures {
+		if l.Step < 1 {
+			return fmt.Errorf("faults: link failure {%d,%d} at step %d (steps start at 1)", l.U, l.V, l.Step)
+		}
+		if l.U < 0 || l.V < 0 || l.U == l.V {
+			return fmt.Errorf("faults: invalid link {%d,%d}", l.U, l.V)
+		}
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("faults: negative retry budget %d", p.MaxRetries)
+	}
+	if p.Onset < 0 {
+		return fmt.Errorf("faults: negative onset %d", p.Onset)
+	}
+	return nil
+}
+
+// maxRetries resolves the retry budget.
+func (p *Plan) maxRetries() int {
+	if p.MaxRetries > 0 {
+		return p.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// Active reports whether the plan injects anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return len(p.Crashes) > 0 || len(p.LinkFailures) > 0 ||
+		p.DropRate > 0 || p.DupRate > 0 || p.CorruptRate > 0
+}
+
+// CrashesAt returns the hosts scheduled to crash exactly at step, sorted.
+func (p *Plan) CrashesAt(step int) []int {
+	if p == nil {
+		return nil
+	}
+	var hosts []int
+	for _, c := range p.Crashes {
+		if c.Step == step {
+			hosts = append(hosts, c.Host)
+		}
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// LinkFailuresAt returns the edges scheduled to fail exactly at step, in
+// canonical sorted order.
+func (p *Plan) LinkFailuresAt(step int) []graph.Edge {
+	if p == nil {
+		return nil
+	}
+	var edges []graph.Edge
+	for _, l := range p.LinkFailures {
+		if l.Step == step {
+			edges = append(edges, graph.NewEdge(l.U, l.V))
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// Counters tallies the structured fault events of one run. All counters are
+// deterministic for a fixed plan: they survive byte-identical across worker
+// counts and re-runs.
+type Counters struct {
+	Injected   int `json:"injected"`    // total message faults injected (drop+dup+corrupt)
+	Dropped    int `json:"dropped"`     // packets lost in flight
+	Duplicated int `json:"duplicated"`  // spurious extra deliveries
+	Corrupted  int `json:"corrupted"`   // payloads damaged (detected and discarded)
+	Retried    int `json:"retried"`     // packet retransmissions after drop/corruption
+	FailedOver int `json:"failed_over"` // guests whose primary replica moved to a survivor
+	ReEmbedded int `json:"re_embedded"` // replacement replicas placed on survivors
+	Crashed    int `json:"crashed"`     // host processors crashed
+	LinksDown  int `json:"links_down"`  // host links permanently failed
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Injected += o.Injected
+	c.Dropped += o.Dropped
+	c.Duplicated += o.Duplicated
+	c.Corrupted += o.Corrupted
+	c.Retried += o.Retried
+	c.FailedOver += o.FailedOver
+	c.ReEmbedded += o.ReEmbedded
+	c.Crashed += o.Crashed
+	c.LinksDown += o.LinksDown
+}
+
+// Map renders the counters as an ordered-key map for JSON payloads.
+func (c Counters) Map() map[string]int {
+	return map[string]int{
+		"injected":    c.Injected,
+		"dropped":     c.Dropped,
+		"duplicated":  c.Duplicated,
+		"corrupted":   c.Corrupted,
+		"retried":     c.Retried,
+		"failed_over": c.FailedOver,
+		"re_embedded": c.ReEmbedded,
+		"crashed":     c.Crashed,
+		"links_down":  c.LinksDown,
+	}
+}
+
+// String renders the counters compactly for tables and logs.
+func (c Counters) String() string {
+	return fmt.Sprintf("inj=%d drop=%d dup=%d corr=%d retry=%d failover=%d reembed=%d crash=%d linkdown=%d",
+		c.Injected, c.Dropped, c.Duplicated, c.Corrupted, c.Retried,
+		c.FailedOver, c.ReEmbedded, c.Crashed, c.LinksDown)
+}
+
+// Fate is the per-packet outcome of one routing attempt under the plan.
+type Fate int
+
+const (
+	// Delivered: the packet arrived intact.
+	Delivered Fate = iota
+	// Dropped: the packet vanished in flight; the payload must be resent.
+	Dropped
+	// Duplicated: the packet arrived intact, twice.
+	Duplicated
+	// Corrupted: the packet arrived damaged; the receiver detects and
+	// discards it, so the payload must be resent.
+	Corrupted
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Duplicated:
+		return "duplicated"
+	case Corrupted:
+		return "corrupted"
+	}
+	return fmt.Sprintf("Fate(%d)", int(f))
+}
+
+// splitmix64 is the SplitMix64 mixing function (Steele et al.), the same
+// avalanche mix the experiment registry uses for seed derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash channel to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// PacketFate decides the fate of packet index idx of routing attempt
+// attempt at guest step step. The decision is a pure function of
+// (plan seed, step, attempt, idx) — no shared RNG state — so fates are
+// independent of evaluation order. Before the plan's Onset step every
+// packet is Delivered.
+func (p *Plan) PacketFate(step, attempt, idx int) Fate {
+	if p == nil || step < p.Onset {
+		return Delivered
+	}
+	h := splitmix64(uint64(p.Seed))
+	h = splitmix64(h ^ uint64(step))
+	h = splitmix64(h ^ uint64(attempt)<<20)
+	h = splitmix64(h ^ uint64(idx)<<40)
+	u := unitFloat(h)
+	// Partition [0,1): [0, drop) → Dropped, [drop, drop+corrupt) →
+	// Corrupted, [drop+corrupt, drop+corrupt+dup) → Duplicated, rest
+	// Delivered. Rates are small in practice, so overlap is no concern.
+	if u < p.DropRate {
+		return Dropped
+	}
+	if u < p.DropRate+p.CorruptRate {
+		return Corrupted
+	}
+	if u < p.DropRate+p.CorruptRate+p.DupRate {
+		return Duplicated
+	}
+	return Delivered
+}
+
+// Degrade rebuilds g without crashed vertices' incident edges and without
+// failed links. Vertex count is preserved — a crashed host becomes an
+// isolated vertex that no surviving traffic may touch.
+func Degrade(g *graph.Graph, crashed map[int]bool, failed map[graph.Edge]bool) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if crashed[e.U] || crashed[e.V] || failed[e] {
+			continue
+		}
+		b.MustAddEdge(e.U, e.V)
+	}
+	return b.Build()
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named fault scenarios. A scenario name resolves, together with a seed and
+// the concrete host size m and horizon T, to a fully determined Plan:
+//
+//	none        — no faults (the ideal host; useful as an explicit baseline)
+//	crash1      — one processor crash at mid-run
+//	crash2      — two processor crashes at mid-run
+//	crash4      — four processor crashes, staggered over the run
+//	lossy       — 5% message drop from step 1
+//	flaky       — 2% drop + 2% duplication + 1% corruption from step 1
+//	partition   — four random link failures at mid-run
+//	chaos       — crash2 + flaky + two link failures
+//
+// Crash victims, crash steps and failing links are drawn deterministically
+// from the seed via SplitMix64, so "crash2 @ seed 7" names one exact fault
+// schedule forever.
+
+// ScenarioNames lists the recognized scenario names, sorted.
+func ScenarioNames() []string {
+	names := []string{"none", "crash1", "crash2", "crash4", "lossy", "flaky", "partition", "chaos"}
+	sort.Strings(names)
+	return names
+}
+
+// pick returns a deterministic value in [0, n) from channel (seed, tag, i).
+func pick(seed int64, tag string, i, n int) int {
+	h := splitmix64(uint64(seed))
+	for _, b := range []byte(tag) {
+		h = splitmix64(h ^ uint64(b))
+	}
+	h = splitmix64(h ^ uint64(i))
+	return int(h % uint64(n))
+}
+
+// distinctHosts draws k distinct hosts in [0, m) deterministically.
+func distinctHosts(seed int64, tag string, k, m int) []int {
+	if k > m {
+		k = m
+	}
+	seen := make(map[int]bool, k)
+	hosts := make([]int, 0, k)
+	for i := 0; len(hosts) < k; i++ {
+		h := pick(seed, tag, i, m)
+		if !seen[h] {
+			seen[h] = true
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+// crashPlan schedules k distinct crashes. With stagger false all crashes hit
+// at mid-run; with stagger true they spread over steps 1..T.
+func crashPlan(seed int64, k, m, T int, stagger bool) []Crash {
+	mid := T/2 + 1
+	if mid > T {
+		mid = T
+	}
+	if mid < 1 {
+		mid = 1
+	}
+	hosts := distinctHosts(seed, "crash", k, m)
+	crashes := make([]Crash, len(hosts))
+	for i, h := range hosts {
+		step := mid
+		if stagger && T > 1 {
+			step = 1 + pick(seed, "crash-step", i, T)
+		}
+		crashes[i] = Crash{Host: h, Step: step}
+	}
+	return crashes
+}
+
+// Scenario resolves a named scenario against a host of m processors and a
+// T-step horizon. Unknown names are an error listing the valid set.
+func Scenario(name string, seed int64, m, T int) (*Plan, error) {
+	if m < 1 || T < 1 {
+		return nil, fmt.Errorf("faults: scenario needs m ≥ 1 and T ≥ 1 (got m=%d T=%d)", m, T)
+	}
+	p := &Plan{Name: name, Seed: seed, Onset: 1}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "none", "":
+		p.Name = "none"
+	case "crash1":
+		p.Crashes = crashPlan(seed, 1, m, T, false)
+	case "crash2":
+		p.Crashes = crashPlan(seed, 2, m, T, false)
+	case "crash4":
+		p.Crashes = crashPlan(seed, 4, m, T, true)
+	case "lossy":
+		p.DropRate = 0.05
+	case "flaky":
+		p.DropRate = 0.02
+		p.DupRate = 0.02
+		p.CorruptRate = 0.01
+	case "partition":
+		p.LinkFailures = randomLinkFailures(seed, 4, m, T)
+	case "chaos":
+		p.Crashes = crashPlan(seed, 2, m, T, false)
+		p.DropRate = 0.02
+		p.DupRate = 0.02
+		p.CorruptRate = 0.01
+		p.LinkFailures = randomLinkFailures(seed+1, 2, m, T)
+	default:
+		return nil, fmt.Errorf("faults: unknown scenario %q (valid: %s)",
+			name, strings.Join(ScenarioNames(), ","))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// randomLinkFailures draws k vertex pairs as link-failure candidates at
+// mid-run. Pairs that happen not to be host edges are harmless no-ops when
+// the degraded graph is built, so the schedule stays host-independent.
+func randomLinkFailures(seed int64, k, m, T int) []LinkFailure {
+	mid := T/2 + 1
+	if mid > T {
+		mid = T
+	}
+	var out []LinkFailure
+	for i := 0; len(out) < k && i < 8*k; i++ {
+		u := pick(seed, "link-u", i, m)
+		v := pick(seed, "link-v", i, m)
+		if u == v {
+			continue
+		}
+		out = append(out, LinkFailure{U: u, V: v, Step: mid})
+	}
+	return out
+}

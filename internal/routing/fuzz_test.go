@@ -1,0 +1,76 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/graph"
+)
+
+// FuzzDeflectionRoute drives hot-potato routing over randomized small
+// topologies and demand sets. The contract under fuzzing: Route must
+// terminate within MaxStep and either deliver every packet exactly once or
+// return a clean error — never panic, hang, or silently lose a packet.
+// Extend with `go test -fuzz=FuzzDeflectionRoute ./internal/routing`.
+func FuzzDeflectionRoute(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(2), uint8(8))
+	f.Add(int64(42), uint8(3), uint8(0), uint8(1))
+	f.Add(int64(7), uint8(30), uint8(9), uint8(60))
+	f.Add(int64(-5), uint8(16), uint8(1), uint8(255))
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, chordRaw, pairsRaw uint8) {
+		n := 3 + int(nRaw)%30
+		rng := rand.New(rand.NewSource(seed))
+
+		// A ring keeps the topology connected; random chords vary degree
+		// and distance structure so deflections actually happen.
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.MustAddEdge(v, (v+1)%n)
+		}
+		for i := 0; i < int(chordRaw)%10; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+
+		pairs := make([]Pair, int(pairsRaw)%64)
+		for i := range pairs {
+			pairs[i] = Pair{Src: rng.Intn(n), Dst: rng.Intn(n)}
+		}
+		p := &Problem{N: n, Pairs: pairs}
+
+		const maxStep = 4096
+		r := &DeflectionRouter{Seed: seed, MaxStep: maxStep}
+		res, err := r.Route(g, p)
+		if err != nil {
+			// A clean rejection (hot-potato invariant violated at the
+			// start, or the step bound tripped) is acceptable; a partial
+			// result must never claim more deliveries than demands.
+			if res.Delivered > len(p.Pairs) {
+				t.Fatalf("error path over-delivered: %d > %d", res.Delivered, len(p.Pairs))
+			}
+			return
+		}
+		if res.Delivered != len(p.Pairs) {
+			t.Fatalf("delivered %d of %d packets without error", res.Delivered, len(p.Pairs))
+		}
+		if res.Steps > maxStep {
+			t.Fatalf("claimed %d steps > bound %d", res.Steps, maxStep)
+		}
+		if len(p.Pairs) > 0 && res.TotalHops < 0 {
+			t.Fatalf("negative hop count %d", res.TotalHops)
+		}
+
+		// Same seed, same instance ⇒ same outcome (router determinism).
+		again, err2 := r.Route(g, p)
+		if err2 != nil {
+			t.Fatalf("rerun errored after clean run: %v", err2)
+		}
+		if again.Delivered != res.Delivered || again.Steps != res.Steps || again.TotalHops != res.TotalHops {
+			t.Fatalf("nondeterministic routing: %+v vs %+v", res, again)
+		}
+	})
+}
