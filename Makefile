@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-smoke report examples cover clean
 
 all: build test
 
@@ -24,6 +24,17 @@ test-race: check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark baseline: BENCH_<date>.json maps each benchmark
+# name to ns/op, B/op, and allocs/op (see README "Benchmark baselines").
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# CI smoke: every benchmark must still run (one iteration), catching bit-rot
+# in the bench harness without paying for full measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Run the full E1..E23 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.

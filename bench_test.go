@@ -56,7 +56,7 @@ func BenchmarkUpperBoundButterfly(b *testing.B) {
 	dims := []int{3, 4, 5, 6}
 	var last []experiments.E1Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E1UpperBound(n, deg, T, dims, 1)
+		rows, err := experiments.E1UpperBound(context.Background(), n, deg, T, dims, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

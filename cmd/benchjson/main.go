@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin) into a JSON object mapping benchmark name to its measurements,
+// for machine-readable performance baselines (`make bench-json`).
+//
+// Input lines it understands look like
+//
+//	BenchmarkE1Suite-8   	      12	  95310417 ns/op	 4240168 B/op	   31456 allocs/op
+//
+// Everything else (pass/fail markers, package headers, goos/goarch banners)
+// is ignored. The trailing -N GOMAXPROCS suffix is stripped so baselines
+// compare across machines. Output is a single indented JSON object sorted by
+// benchmark name:
+//
+//	{
+//	  "BenchmarkE1Suite": {"ns_per_op": 95310417, "bytes_per_op": 4240168, "allocs_per_op": 31456, "iterations": 12}
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's parsed result line.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchLine matches a `testing.B` result row. ns/op is mandatory; the
+// -benchmem columns are optional so plain `-bench` output still parses.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends to the
+// benchmark name when GOMAXPROCS > 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads benchmark text from r and returns name → measurement. A name
+// appearing twice (e.g. -count > 1) keeps the last occurrence.
+func parse(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		meas := Measurement{NsPerOp: ns, Iterations: iters}
+		if m[4] != "" {
+			meas.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			meas.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out[name] = meas
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results) // map keys marshal sorted
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: universalnet
+cpu: Some CPU @ 2.00GHz
+BenchmarkE1Suite-8   	      12	  95310417 ns/op	 4240168 B/op	   31456 allocs/op
+BenchmarkRouteTorus 	    4096	    292041 ns/op
+BenchmarkPebbleValidate-16	     100	  10500000.5 ns/op	       0 B/op	       0 allocs/op
+--- BENCH: BenchmarkSomething-8
+    bench_test.go:42: note line, not a result
+PASS
+ok  	universalnet	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	e1, ok := got["BenchmarkE1Suite"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", got)
+	}
+	if e1.NsPerOp != 95310417 || e1.BytesPerOp != 4240168 || e1.AllocsPerOp != 31456 || e1.Iterations != 12 {
+		t.Errorf("E1Suite = %+v", e1)
+	}
+	rt := got["BenchmarkRouteTorus"]
+	if rt.NsPerOp != 292041 || rt.BytesPerOp != 0 || rt.AllocsPerOp != 0 {
+		t.Errorf("RouteTorus (no -benchmem columns) = %+v", rt)
+	}
+	if pv := got["BenchmarkPebbleValidate"]; pv.NsPerOp != 10500000.5 {
+		t.Errorf("fractional ns/op = %+v", pv)
+	}
+}
+
+func TestRunEmitsSortedJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Measurement
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(decoded))
+	}
+	// Go marshals map keys sorted, so the baseline file is diff-stable.
+	i1 := bytes.Index(out.Bytes(), []byte("BenchmarkE1Suite"))
+	i2 := bytes.Index(out.Bytes(), []byte("BenchmarkPebbleValidate"))
+	i3 := bytes.Index(out.Bytes(), []byte("BenchmarkRouteTorus"))
+	if !(i1 < i2 && i2 < i3) {
+		t.Errorf("keys not sorted: positions %d %d %d\n%s", i1, i2, i3, out.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok\n"), &out); err == nil {
+		t.Error("no-benchmark input accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"universalnet/internal/experiments"
 	"universalnet/internal/faults"
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/pebble"
 	"universalnet/internal/routing"
 	"universalnet/internal/sim"
@@ -401,6 +402,7 @@ func cmdExperiment(args []string) error {
 	seed := fs.Int64("seed", 1, "root random seed (per-experiment seeds are derived from it)")
 	faultScenario := fs.String("faults", "", "named fault scenario for fault-aware experiments: "+strings.Join(faults.ScenarioNames(), "|"))
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
+	tracePath := fs.String("trace", "", "write per-span JSONL tracing to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -424,7 +426,10 @@ func cmdExperiment(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runExperiments(exps, cfg, *parallel, *timeout, *failFast, *jsonOut)
+	return runExperiments(exps, cfg, runOpts{
+		parallel: *parallel, timeout: *timeout, failFast: *failFast,
+		jsonOut: *jsonOut, tracePath: *tracePath,
+	})
 }
 
 // experimentConfig assembles the suite Config, validating a named fault
@@ -454,14 +459,46 @@ func listExperiments() string {
 	return tab.String()
 }
 
+// runOpts bundles the execution knobs shared by `experiment`, `report` and
+// `serve`.
+type runOpts struct {
+	parallel  int
+	timeout   time.Duration
+	failFast  bool
+	jsonOut   bool
+	tracePath string // "" = tracing off
+}
+
+// openTrace opens the JSONL span sink named by tracePath ("" → nil sink,
+// tracing disabled).
+func openTrace(path string) (*obs.TraceSink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace output: %w", err)
+	}
+	return obs.NewTraceSink(f), nil
+}
+
 // runExperiments executes exps on the runner and writes tables (or JSON
-// lines) to stdout. The returned error aggregates every failed experiment;
-// table output carries no timings so it is byte-identical across worker
-// counts.
-func runExperiments(exps []experiments.Experiment, cfg experiments.Config, parallel int, timeout time.Duration, failFast, jsonOut bool) error {
-	r := &experiments.Runner{Workers: parallel, Timeout: timeout, FailFast: failFast}
+// lines) to stdout. The returned error aggregates every failed experiment.
+// Table output carries no timings, and the per-experiment metrics snapshot
+// in JSON output excludes wall-clock by construction, so both are
+// byte-identical across worker counts; timing lives in duration_ms and the
+// optional -trace JSONL.
+func runExperiments(exps []experiments.Experiment, cfg experiments.Config, opt runOpts) error {
+	sink, err := openTrace(opt.tracePath)
+	if err != nil {
+		return err
+	}
+	r := &experiments.Runner{Workers: opt.parallel, Timeout: opt.timeout, FailFast: opt.failFast, Trace: sink}
 	results, runErr := r.Run(context.Background(), exps, cfg)
-	if jsonOut {
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if opt.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, res := range results {
 			obj := map[string]any{
@@ -471,6 +508,9 @@ func runExperiments(exps []experiments.Experiment, cfg experiments.Config, paral
 			}
 			if res.Payload != nil {
 				obj["payload"] = res.Payload
+			}
+			if !res.Metrics.Empty() {
+				obj["metrics"] = res.Metrics
 			}
 			if res.Err != nil {
 				obj["error"] = res.Err.Error()
@@ -599,6 +639,7 @@ func cmdReport(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment instead of tables")
 	faultScenario := fs.String("faults", "", "named fault scenario for fault-aware experiments: "+strings.Join(faults.ScenarioNames(), "|"))
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
+	tracePath := fs.String("trace", "", "write per-span JSONL tracing to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -614,7 +655,10 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runExperiments(exps, cfg, *parallel, *timeout, true, *jsonOut)
+	return runExperiments(exps, cfg, runOpts{
+		parallel: *parallel, timeout: *timeout, failFast: true,
+		jsonOut: *jsonOut, tracePath: *tracePath,
+	})
 }
 
 // cmdGap prints the conclusion's open-problem table: the host size needed

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"universalnet/internal/obs"
 )
 
 // The CLI tests drive every subcommand in-process with small parameters.
@@ -173,6 +175,92 @@ func TestCmdExperimentOnlyJSON(t *testing.T) {
 	}
 	if strings.Join(ids, ",") != "E2,E3" {
 		t.Fatalf("ids = %v, want [E2 E3]", ids)
+	}
+}
+
+// jsonLine is the decoded shape of one `-json` output line, keeping the
+// metrics snapshot both raw (for byte-level comparison) and decoded.
+type jsonLine struct {
+	ID      string          `json:"id"`
+	Seed    int64           `json:"seed"`
+	Payload json.RawMessage `json:"payload"`
+	Metrics json.RawMessage `json:"metrics"`
+	Error   string          `json:"error"`
+}
+
+func decodeJSONLines(t *testing.T, out string) []jsonLine {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(out))
+	var lines []jsonLine
+	for dec.More() {
+		var ln jsonLine
+		if err := dec.Decode(&ln); err != nil {
+			t.Fatalf("invalid JSON line: %v\noutput:\n%s", err, out)
+		}
+		if ln.Error != "" {
+			t.Fatalf("%s: unexpected error %q", ln.ID, ln.Error)
+		}
+		lines = append(lines, ln)
+	}
+	return lines
+}
+
+// TestCmdExperimentJSONMetricsSnapshot golden-decodes one experiment's
+// metrics object and checks the instruments the E8 body is wired to record.
+func TestCmdExperimentJSONMetricsSnapshot(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExperiment([]string{"-only", "E8", "-json"})
+	})
+	lines := decodeJSONLines(t, out)
+	if len(lines) != 1 || lines[0].ID != "E8" {
+		t.Fatalf("lines = %+v, want one E8 line", lines)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(lines[0].Metrics, &snap); err != nil {
+		t.Fatalf("metrics did not decode as obs.Snapshot: %v\n%s", err, lines[0].Metrics)
+	}
+	if snap.Counters["routing.phases.greedy"] == 0 {
+		t.Errorf("routing.phases.greedy = 0, want > 0; counters: %v", snap.Counters)
+	}
+	if snap.Counters["routing.delivered"] == 0 {
+		t.Error("routing.delivered = 0, want > 0")
+	}
+	if _, ok := snap.Gauges["routing.max_queue"]; !ok {
+		t.Errorf("missing routing.max_queue gauge; gauges: %v", snap.Gauges)
+	}
+	h, ok := snap.Histograms["routing.steps_per_phase"]
+	if !ok {
+		t.Fatalf("missing routing.steps_per_phase histogram; histograms present: %d", len(snap.Histograms))
+	}
+	if h.Count == 0 || h.Count != snap.Counters["routing.phases"] {
+		t.Errorf("steps_per_phase count = %d, want routing.phases = %d",
+			h.Count, snap.Counters["routing.phases"])
+	}
+}
+
+// TestCmdExperimentJSONMetricsDeterministic is the acceptance criterion: for
+// a fixed seed the per-experiment metrics snapshot in `-json` output is
+// byte-identical across worker counts (serial, 4 workers, GOMAXPROCS).
+func TestCmdExperimentJSONMetricsDeterministic(t *testing.T) {
+	run := func(parallel string) map[string]string {
+		out := captureStdout(t, func() error {
+			return cmdExperiment([]string{"-only", "E2,E3,E8,E11", "-parallel", parallel, "-json"})
+		})
+		metrics := make(map[string]string)
+		for _, ln := range decodeJSONLines(t, out) {
+			metrics[ln.ID] = string(ln.Metrics)
+		}
+		return metrics
+	}
+	base := run("1")
+	for _, parallel := range []string{"4", "0"} {
+		got := run(parallel)
+		for id, want := range base {
+			if got[id] != want {
+				t.Errorf("-parallel %s: %s metrics differ from -parallel 1\n got: %s\nwant: %s",
+					parallel, id, got[id], want)
+			}
+		}
 	}
 }
 

@@ -10,8 +10,11 @@
 //	figure1    — render the Figure 1 dependency tree
 //	experiment — run a subset of the E1..E23 suite (parallel runner, JSON)
 //	report     — run the full suite and print every table
+//	serve      — run the suite with live metrics over HTTP (expvar, pprof)
 //
 // Every subcommand takes -seed for reproducibility and prints plain tables.
+// `experiment`, `report` and `serve` accept -trace FILE for per-span JSONL
+// profiling output.
 package main
 
 import (
@@ -49,6 +52,8 @@ func main() {
 		err = cmdAnalyze(args)
 	case "report":
 		err = cmdReport(args)
+	case "serve":
+		err = cmdServe(args)
 	case "gap":
 		err = cmdGap(args)
 	case "help", "-h", "--help":
@@ -75,10 +80,11 @@ commands:
   tradeoff   -n N -ms 256,1024,4096 [-toy]
   pebble     -n N -deg C -hostdim D -steps T [-seed S]
   figure1    [-blockside P] [-seed S]
-  experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S] [-faults NAME] [-fault-seed S]
+  experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
-  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S]   (full E1..E23 suite)
+  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E23 suite)
+  serve      [-addr A] [-only IDs] [-parallel N] [-once] [-seed S] [-trace F]   (suite + live metrics: /metrics, /debug/vars, /debug/pprof/)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)
 }

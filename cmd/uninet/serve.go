@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"universalnet/internal/experiments"
+	"universalnet/internal/faults"
+	"universalnet/internal/obs"
+)
+
+// liveRegistry is the registry the expvar callback reads. It is a package
+// atomic (not a runServe local) because expvar.Publish is global and
+// panics on duplicate names — publishOnce installs one callback forever,
+// and successive runServe calls (tests, repeated serves) swap the pointer.
+var liveRegistry atomic.Pointer[obs.Registry]
+
+var publishOnce = func() func() {
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		expvar.Publish("uninet", expvar.Func(func() any {
+			return liveRegistry.Load().Snapshot()
+		}))
+	}
+}()
+
+// cmdServe runs the experiment suite with a live run-level metrics registry
+// and serves it over HTTP: expvar at /debug/vars (key "uninet"), pprof under
+// /debug/pprof/, and the bare aggregated snapshot at /metrics. After the
+// suite completes the server keeps running for inspection until interrupted
+// (or, with -once, exits immediately).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8214", "listen address")
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	parallel := fs.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
+	timeout := fs.Duration("timeout", 0, "overall suite deadline (0 = none)")
+	seed := fs.Int64("seed", 1, "root random seed")
+	faultScenario := fs.String("faults", "", "named fault scenario: "+strings.Join(faults.ScenarioNames(), "|"))
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
+	tracePath := fs.String("trace", "", "write per-span JSONL tracing to this file")
+	once := fs.Bool("once", false, "exit when the suite completes instead of serving until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	exps, err := experiments.Select(ids)
+	if err != nil {
+		return err
+	}
+	cfg, err := experimentConfig(*seed, *faultScenario, *faultSeed)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return runServe(ctx, ln, exps, cfg, serveOpts{
+		parallel:  *parallel,
+		timeout:   *timeout,
+		tracePath: *tracePath,
+		once:      *once,
+	}, os.Stdout)
+}
+
+// serveOpts bundles runServe's knobs.
+type serveOpts struct {
+	parallel  int
+	timeout   time.Duration
+	tracePath string
+	once      bool
+}
+
+// runServe is the listener-injectable core of cmdServe: it serves metrics on
+// ln, runs the suite against a live run-level registry, and shuts the server
+// down cleanly when ctx is canceled (or right after the suite with
+// opts.once). Split from cmdServe so tests can inject a 127.0.0.1:0 listener
+// and a cancellable context, then assert no goroutines leak.
+func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experiment, cfg experiments.Config, opts serveOpts, out io.Writer) error {
+	reg := obs.New()
+	liveRegistry.Store(reg)
+	publishOnce()
+
+	sink, err := openTrace(opts.tracePath)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(liveRegistry.Load().Snapshot())
+	})
+
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "uninet serve: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+
+	r := &experiments.Runner{Workers: opts.parallel, Timeout: opts.timeout, Obs: reg, Trace: sink}
+	results, runErr := r.Run(ctx, exps, cfg)
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+		}
+	}
+	fmt.Fprintf(out, "uninet serve: suite done — %d experiments, %d failed\n", len(results), failed)
+
+	if !opts.once {
+		<-ctx.Done()
+	}
+
+	// Shutdown with a fresh context: the trigger ctx is typically already
+	// canceled, and in-flight scrape requests deserve a grace period.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	<-serveErr // Serve has returned; no goroutine left behind.
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("trace output: %w", err)
+	}
+	if runErr != nil && !opts.once && ctx.Err() != nil {
+		// Interrupted runs report the suite error only under -once semantics;
+		// a deliberate Ctrl-C mid-suite is not a failure of the tool.
+		runErr = nil
+	}
+	if shutErr != nil {
+		return shutErr
+	}
+	return runErr
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"universalnet/internal/experiments"
+	"universalnet/internal/obs"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test after two seconds. A plain equality check would be
+// flaky: finished goroutines take a scheduler beat to be reaped.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines = %d, want <= %d after shutdown\n%s", n, want, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunServeShutdownNoLeak is the regression test for serve's lifecycle:
+// canceling the context must close the server, return from runServe, flush
+// the trace sink, and leave no goroutine behind.
+func TestRunServeShutdownNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	exps, err := experiments.Select([]string{"E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := experimentConfig(1, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, ln, exps, cfg, serveOpts{
+			parallel:  2,
+			tracePath: tracePath,
+		}, &out)
+	}()
+
+	// The server must answer while the suite runs / idles.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	var snap obs.Snapshot
+	if err := pollJSON(client, "http://"+addr+"/metrics", &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	var vars struct {
+		Uninet *obs.Snapshot `json:"uninet"`
+	}
+	if err := pollJSON(client, "http://"+addr+"/debug/vars", &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if vars.Uninet == nil {
+		t.Error("/debug/vars missing the uninet expvar")
+	}
+	tr.CloseIdleConnections()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v, want nil on interrupt", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServe did not return after cancel")
+	}
+
+	// The port must be closed …
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("listener still accepting connections after shutdown")
+	}
+	// … the trace sink flushed with at least the experiment span …
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"experiment"`) || !strings.Contains(string(trace), `"E2"`) {
+		t.Errorf("trace file missing experiment span:\n%s", trace)
+	}
+	// … and every goroutine runServe started must be gone. Allow two over
+	// the pre-test count for test-runner and HTTP-client stragglers that do
+	// not belong to runServe.
+	waitGoroutines(t, baseline+2)
+
+	if !strings.Contains(out.String(), "suite done") {
+		t.Errorf("missing suite summary in output:\n%s", out.String())
+	}
+}
+
+// TestRunServeOnce covers the -once path: runServe returns by itself after
+// the suite, reporting suite errors, without waiting for a cancel.
+func TestRunServeOnce(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := experiments.Select([]string{"E3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := experimentConfig(1, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(context.Background(), ln, exps, cfg, serveOpts{parallel: 1, once: true}, &out)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe -once: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runServe -once did not return")
+	}
+	if !strings.Contains(out.String(), "1 experiments, 0 failed") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// pollJSON GETs url until it answers 200 with decodable JSON (the server
+// goroutine may not have accepted its listener yet on the first try).
+func pollJSON(client *http.Client, url string, into any) error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				err = json.NewDecoder(resp.Body).Decode(into)
+				resp.Body.Close()
+				return err
+			}
+			resp.Body.Close()
+			err = fmt.Errorf("status %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"universalnet/internal/core"
 	"universalnet/internal/expander"
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/routing"
 	"universalnet/internal/sim"
 	"universalnet/internal/topology"
@@ -247,6 +248,7 @@ type E19Row struct {
 
 // E19RouteScaling measures route_G(h) for the standard hosts.
 func E19RouteScaling(ctx context.Context, hs []int, trials int, seed int64) ([]E19Row, error) {
+	reg := obs.FromContext(ctx)
 	type hostSpec struct {
 		name string
 		g    *graph.Graph
@@ -270,7 +272,7 @@ func E19RouteScaling(ctx context.Context, hs []int, trials int, seed int64) ([]E
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := routing.MeasureRoute(spec.g, &routing.GreedyRouter{Mode: routing.MultiPort, Seed: seed}, h, trials, seed)
+			res, err := routing.MeasureRoute(spec.g, &routing.GreedyRouter{Mode: routing.MultiPort, Seed: seed, Obs: reg}, h, trials, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: E19 %s h=%d: %w", spec.name, h, err)
 			}

@@ -7,12 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 
 	"universalnet/internal/core"
+	"universalnet/internal/obs"
 	"universalnet/internal/sim"
 	"universalnet/internal/topology"
 	"universalnet/internal/universal"
@@ -73,20 +75,26 @@ type E1Row struct {
 
 // E1UpperBound sweeps butterfly hosts for a fixed random guest and measures
 // the slowdown of the Theorem 2.1 simulation, checked against direct
-// execution.
-func E1UpperBound(n, guestDeg, T int, dims []int, seed int64) ([]E1Row, error) {
+// execution. A registry attached to ctx (obs.FromContext) receives the
+// engine, routing and slowdown-histogram metrics of every sweep point.
+func E1UpperBound(ctx context.Context, n, guestDeg, T int, dims []int, seed int64) ([]E1Row, error) {
+	reg := obs.FromContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, n, guestDeg)
 	if err != nil {
 		return nil, err
 	}
 	comp := sim.MixMod(guest, rng)
+	comp.Obs = reg
 	direct, err := comp.Run(T)
 	if err != nil {
 		return nil, err
 	}
 	var rows []E1Row
 	for _, d := range dims {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		host, err := universal.ButterflyHost(d)
 		if err != nil {
 			return nil, err
@@ -95,7 +103,7 @@ func E1UpperBound(n, guestDeg, T int, dims []int, seed int64) ([]E1Row, error) {
 		if m > n {
 			continue // §2 regime is m ≤ n
 		}
-		rep, err := (&universal.EmbeddingSimulator{Host: host}).Run(comp, T)
+		rep, err := (&universal.EmbeddingSimulator{Host: host, Obs: reg}).Run(comp, T)
 		if err != nil {
 			return nil, err
 		}

@@ -23,7 +23,7 @@ func TestTableString(t *testing.T) {
 }
 
 func TestE1UpperBound(t *testing.T) {
-	rows, err := E1UpperBound(256, 4, 3, []int{3, 4, 5}, 1)
+	rows, err := E1UpperBound(context.Background(), 256, 4, 3, []int{3, 4, 5}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestPlotRender(t *testing.T) {
 }
 
 func TestPlotE1AndE2(t *testing.T) {
-	rows, err := E1UpperBound(256, 4, 3, []int{3, 4, 5}, 1)
+	rows, err := E1UpperBound(context.Background(), 256, 4, 3, []int{3, 4, 5}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

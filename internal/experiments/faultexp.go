@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"universalnet/internal/faults"
+	"universalnet/internal/obs"
 	"universalnet/internal/sim"
 	"universalnet/internal/topology"
 	"universalnet/internal/universal"
@@ -41,6 +42,7 @@ type E23Row struct {
 // a fault-free baseline. Rows are fully determined by (seed, scenario,
 // faultSeed): byte-identical across worker counts and re-runs.
 func E23FaultTolerance(ctx context.Context, n, r, T int, seed int64, scenario string, faultSeed int64) ([]E23Row, error) {
+	reg := obs.FromContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
 	guest, err := topology.RandomGuest(rng, n, 4)
 	if err != nil {
@@ -67,7 +69,7 @@ func E23FaultTolerance(ctx context.Context, n, r, T int, seed int64, scenario st
 			row.Crashes = len(plan.Crashes)
 			row.LossRate = plan.DropRate
 		}
-		rep, err := (&universal.FaultTolerantSimulator{Host: host, Replicas: replicas, Plan: plan}).Run(comp, T)
+		rep, err := (&universal.FaultTolerantSimulator{Host: host, Replicas: replicas, Plan: plan, Obs: reg}).Run(comp, T)
 		if err != nil {
 			if errors.Is(err, universal.ErrUnrecoverable) {
 				return row, nil // Recovered=false: the checked failure mode

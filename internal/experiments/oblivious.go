@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -38,7 +39,7 @@ func E14ObliviousComplete(n, T int, dims []int, seed int64) ([]E14Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	bounded, err := E1UpperBound(n, 4, T, dims, seed+1)
+	bounded, err := E1UpperBound(context.Background(), n, 4, T, dims, seed+1)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"universalnet/internal/obs"
 )
 
 // Config carries the suite-wide inputs of a run. Every experiment derives
@@ -53,7 +55,9 @@ type Result struct {
 	Seed     int64          // derived per-experiment seed actually used
 	Text     string         // rendered table / summary, as printed by the report
 	Payload  map[string]any // structured rows/results for JSON consumers
-	Duration time.Duration  // wall-clock time of the Run call
+	Start    time.Time      // when the Run call began (runner clock)
+	Duration time.Duration  // wall-clock time of the Run call (runner clock)
+	Metrics  *obs.Snapshot  // frozen per-experiment metrics; nil only when the body never ran
 	Err      error          // non-nil if the experiment failed (or was canceled)
 }
 
@@ -76,7 +80,7 @@ func Registry() []Experiment {
 			Claim:   "Thm 2.1: butterfly hosts simulate any guest with slowdown O((n/m)·log m)",
 			Modules: "universal,sim,topology,routing",
 			Run: func(ctx context.Context, cfg Config) (Result, error) {
-				rows, err := E1UpperBound(512, 4, 3, []int{3, 4, 5, 6}, cfg.SeedFor("E1"))
+				rows, err := E1UpperBound(ctx, 512, 4, 3, []int{3, 4, 5, 6}, cfg.SeedFor("E1"))
 				if err != nil {
 					return Result{}, err
 				}

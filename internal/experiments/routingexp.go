@@ -8,6 +8,7 @@ import (
 
 	"universalnet/internal/core"
 	"universalnet/internal/expander"
+	"universalnet/internal/obs"
 	"universalnet/internal/pebble"
 	"universalnet/internal/routing"
 	"universalnet/internal/sim"
@@ -32,6 +33,7 @@ type E7Row struct {
 // E7Tradeoff measures the two constructive endpoints of the trade-off and
 // tabulates the analytic curve between them.
 func E7Tradeoff(ctx context.Context, n, c, depth, hostDim, T int, seed int64) ([]E7Row, error) {
+	reg := obs.FromContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E7Row
 
@@ -49,6 +51,7 @@ func E7Tradeoff(ctx context.Context, n, c, depth, hostDim, T int, seed int64) ([
 	if err != nil {
 		return nil, err
 	}
+	pr.Obs = reg
 	if _, err := pr.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,6 +74,7 @@ func E7Tradeoff(ctx context.Context, n, c, depth, hostDim, T int, seed int64) ([
 	if err != nil {
 		return nil, err
 	}
+	tpr.Obs = reg
 	if _, err := tpr.Validate(); err != nil {
 		return nil, err
 	}
@@ -188,6 +192,7 @@ type E8Row struct {
 // greedy routing on the butterfly, and measures the h-relation decomposition
 // of §2.
 func E8OfflineRouting(ctx context.Context, dims []int, h int, seed int64) ([]E8Row, error) {
+	reg := obs.FromContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
 	var rows []E8Row
 	for _, d := range dims {
@@ -213,7 +218,7 @@ func E8OfflineRouting(ctx context.Context, dims []int, h int, seed int64) ([]E8R
 				Dst: routing.BenesNode(d, last, p),
 			}
 		}
-		res, err := (&routing.GreedyRouter{Mode: routing.MultiPort}).Route(bg, &routing.Problem{N: bg.N(), Pairs: pairs})
+		res, err := (&routing.GreedyRouter{Mode: routing.MultiPort, Obs: reg}).Route(bg, &routing.Problem{N: bg.N(), Pairs: pairs})
 		if err != nil {
 			return nil, err
 		}

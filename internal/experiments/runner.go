@@ -8,12 +8,20 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"universalnet/internal/obs"
 )
 
 // Runner executes a set of registered experiments on a bounded worker
 // pool. Results come back in input order regardless of completion order,
 // and every experiment gets a seed derived purely from (root seed, id), so
 // a parallel run is byte-identical to a sequential one.
+//
+// Each experiment runs against its own obs.Registry (reachable from the
+// body's context via obs.FromContext), whose frozen Snapshot lands in the
+// Result. Per-experiment registries are never shared between concurrent
+// experiments, and snapshots exclude wall-clock, so Result.Metrics is
+// byte-identical across worker counts for a fixed seed.
 type Runner struct {
 	// Workers bounds the number of experiments in flight; 0 (or negative)
 	// means GOMAXPROCS.
@@ -24,6 +32,25 @@ type Runner struct {
 	// FailFast cancels the remaining experiments as soon as one fails.
 	// Otherwise the runner keeps going and collects every error.
 	FailFast bool
+	// Clock stamps Result.Start and Result.Duration; nil means the system
+	// clock. Tests inject an obs.FakeClock for deterministic timestamps.
+	Clock obs.Clock
+	// Obs, when non-nil, is the run-level registry: every completed
+	// experiment's snapshot is merged into it, giving `uninet serve` a live
+	// aggregate view. Merging happens after each experiment completes, so
+	// concurrent experiments never contend on one registry mid-run.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives span events (experiment start/end and
+	// everything the instrumented packages emit) from every experiment.
+	Trace *obs.TraceSink
+}
+
+// clock resolves the runner clock.
+func (r *Runner) clock() obs.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return obs.SystemClock()
 }
 
 // Run executes exps and returns one Result per experiment, in input
@@ -59,13 +86,18 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, cfg Config) ([]Resu
 	}
 	close(jobs)
 
+	if r.Obs != nil {
+		r.Obs.Gauge("runner.workers").SetMax(int64(workers))
+		r.Obs.Counter("runner.experiments").Add(int64(len(exps)))
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(runCtx, exps[i], cfg)
+				results[i] = r.runOne(runCtx, exps[i], cfg)
 				if results[i].Err != nil && r.FailFast {
 					cancel()
 				}
@@ -83,23 +115,41 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, cfg Config) ([]Resu
 	return results, errors.Join(errs...)
 }
 
-// runOne executes a single experiment, stamping id, derived seed and
-// wall-clock duration. A canceled context short-circuits without invoking
-// the body, so queued work drains promptly after cancellation. A panicking
-// experiment body is confined to its own Result — the panic becomes that
-// experiment's Err (with a stack snippet) instead of killing the whole
-// worker pool.
-func runOne(ctx context.Context, e Experiment, cfg Config) (res Result) {
+// runOne executes a single experiment, stamping id, derived seed, start time
+// and wall-clock duration (all read from the runner clock). A canceled
+// context short-circuits without invoking the body, so queued work drains
+// promptly after cancellation. A panicking experiment body is confined to
+// its own Result — the panic becomes that experiment's Err (with a stack
+// snippet) instead of killing the whole worker pool.
+//
+// The experiment body sees a fresh per-experiment registry via its context;
+// its final snapshot becomes Result.Metrics and is merged into the run-level
+// registry (if any) exactly once, after the body returns.
+func (r *Runner) runOne(ctx context.Context, e Experiment, cfg Config) (res Result) {
 	res = Result{ID: e.ID, Seed: cfg.SeedFor(e.ID)}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
 	}
-	start := time.Now()
+	clock := r.clock()
+	reg := obs.New().SetClock(clock).SetTrace(r.Trace)
+	ctx = obs.NewContext(ctx, reg)
+	sp := reg.StartSpan("experiment", obs.KV("id", e.ID), obs.KV("seed", res.Seed))
+	res.Start = clock.Now()
 	defer func() {
-		res.Duration = time.Since(start)
-		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("experiment panicked: %v\n%s", r, stackSnippet())
+		res.Duration = clock.Now().Sub(res.Start)
+		if rec := recover(); rec != nil {
+			res.Err = fmt.Errorf("experiment panicked: %v\n%s", rec, stackSnippet())
+		}
+		sp.End()
+		res.Metrics = reg.Snapshot()
+		if r.Obs != nil {
+			r.Obs.Merge(res.Metrics)
+			if res.Err != nil {
+				r.Obs.Counter("runner.failed").Inc()
+			} else {
+				r.Obs.Counter("runner.completed").Inc()
+			}
 		}
 	}()
 	out, err := e.Run(ctx, cfg)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"universalnet/internal/obs"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -114,6 +117,10 @@ func TestRunnerParallelDeterminism(t *testing.T) {
 		}
 		if seqRes[i].Text != parRes[i].Text {
 			t.Errorf("%s: table text differs between workers=1 and workers=8", seqRes[i].ID)
+		}
+		if !seqRes[i].Metrics.Equal(parRes[i].Metrics) {
+			t.Errorf("%s: metrics snapshot differs between workers=1 and workers=8: %s",
+				seqRes[i].ID, seqRes[i].Metrics.Diff(parRes[i].Metrics))
 		}
 	}
 }
@@ -295,5 +302,84 @@ func TestRunnerStampsResults(t *testing.T) {
 	}
 	if res.Duration <= 0 {
 		t.Errorf("Duration = %v, want > 0", res.Duration)
+	}
+	if res.Start.IsZero() {
+		t.Error("Start not stamped")
+	}
+}
+
+// TestRunnerInjectedClock: with a FakeClock the runner's timestamps become
+// fully deterministic — the satellite contract replacing ad-hoc time.Now.
+func TestRunnerInjectedClock(t *testing.T) {
+	epoch := time.Unix(1_000_000, 0)
+	clock := &obs.FakeClock{T: epoch, Step: time.Second}
+	exps := []Experiment{
+		fakeExp("X1", func(ctx context.Context, cfg Config) (Result, error) {
+			return Result{Text: "a"}, nil
+		}),
+	}
+	r := &Runner{Workers: 1, Clock: clock}
+	results, err := r.Run(context.Background(), exps, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no trace sink the only clock reads are the Start and Duration
+	// stamps, each advancing the fake clock by one Step: Start is the epoch
+	// and Duration exactly one Step.
+	if got := results[0].Start; !got.Equal(epoch) {
+		t.Errorf("Start = %v, want %v", got, epoch)
+	}
+	if got := results[0].Duration; got != time.Second {
+		t.Errorf("Duration = %v, want exactly 1s from the fake clock", got)
+	}
+}
+
+// TestRunnerMetricsAndTrace: the body's context carries a fresh registry;
+// its snapshot lands in Result.Metrics, merges into the run-level registry,
+// and spans reach the shared trace sink.
+func TestRunnerMetricsAndTrace(t *testing.T) {
+	var buf bytes.Buffer
+	runReg := obs.New()
+	exps := []Experiment{
+		fakeExp("X1", func(ctx context.Context, cfg Config) (Result, error) {
+			reg := obs.FromContext(ctx)
+			if reg == nil {
+				t.Error("no registry in experiment context")
+			}
+			reg.Counter("test.events").Add(5)
+			return Result{}, nil
+		}),
+		fakeExp("X2", func(ctx context.Context, cfg Config) (Result, error) {
+			obs.FromContext(ctx).Counter("test.events").Add(2)
+			return Result{}, nil
+		}),
+	}
+	r := &Runner{Workers: 2, Obs: runReg, Trace: obs.NewTraceSink(&buf)}
+	results, err := r.Run(context.Background(), exps, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Metrics.Counters["test.events"]; got != 5 {
+		t.Errorf("X1 metrics counter = %d, want 5", got)
+	}
+	if got := results[1].Metrics.Counters["test.events"]; got != 2 {
+		t.Errorf("X2 metrics counter = %d, want 2", got)
+	}
+	s := runReg.Snapshot()
+	if got := s.Counters["test.events"]; got != 7 {
+		t.Errorf("run-level merged counter = %d, want 7", got)
+	}
+	if got := s.Counters["runner.completed"]; got != 2 {
+		t.Errorf("runner.completed = %d, want 2", got)
+	}
+	if got := s.Counters["runner.experiments"]; got != 2 {
+		t.Errorf("runner.experiments = %d, want 2", got)
+	}
+	if err := r.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	if !strings.Contains(trace, `"experiment"`) || !strings.Contains(trace, `"X1"`) {
+		t.Errorf("trace missing experiment spans:\n%s", trace)
 	}
 }

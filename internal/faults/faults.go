@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 )
 
 // Crash schedules the permanent death of one host processor: from guest step
@@ -193,6 +194,25 @@ func (c *Counters) Add(o Counters) {
 	c.ReEmbedded += o.ReEmbedded
 	c.Crashed += o.Crashed
 	c.LinksDown += o.LinksDown
+}
+
+// Record adds the counters to reg under the faults.* namespace, bridging the
+// run-level fault accounting into the metrics registry. Safe on a nil
+// registry; counters add commutatively, so recording is merge- and
+// worker-order-independent.
+func (c Counters) Record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("faults.injected").Add(int64(c.Injected))
+	reg.Counter("faults.dropped").Add(int64(c.Dropped))
+	reg.Counter("faults.duplicated").Add(int64(c.Duplicated))
+	reg.Counter("faults.corrupted").Add(int64(c.Corrupted))
+	reg.Counter("faults.retried").Add(int64(c.Retried))
+	reg.Counter("faults.failed_over").Add(int64(c.FailedOver))
+	reg.Counter("faults.re_embedded").Add(int64(c.ReEmbedded))
+	reg.Counter("faults.crashed").Add(int64(c.Crashed))
+	reg.Counter("faults.links_down").Add(int64(c.LinksDown))
 }
 
 // Map renders the counters as an ordered-key map for JSON payloads.

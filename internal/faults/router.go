@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/routing"
 )
 
@@ -109,9 +110,19 @@ type Router struct {
 	Inner     routing.Router
 	Plan      *Plan
 	StartStep int
+	// Obs, when non-nil, receives per-phase fault counters and attempt
+	// counts in addition to whatever the inner router records.
+	Obs *obs.Registry
 
 	calls    int
 	counters Counters
+}
+
+// SetObs implements routing.Instrumentable, threading the registry into both
+// the wrapper and its inner router.
+func (r *Router) SetObs(reg *obs.Registry) {
+	r.Obs = reg
+	routing.SetObs(r.Inner, reg)
 }
 
 // Name implements routing.Router.
@@ -130,6 +141,11 @@ func (r *Router) Route(g *graph.Graph, p *routing.Problem) (routing.Result, erro
 	r.calls++
 	res, err := RoutePhase(r.Inner, g, p, r.Plan, step)
 	r.counters.Add(res.Counters)
+	if r.Obs != nil {
+		r.Obs.Counter("faults.phases").Inc()
+		r.Obs.Counter("faults.attempts").Add(int64(res.Attempts))
+		res.Counters.Record(r.Obs)
+	}
 	return res.Result, err
 }
 

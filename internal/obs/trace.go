@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceSink serializes span events as JSON Lines — one object per completed
+// span — onto a writer. Writes are mutex-serialized, so one sink may be
+// shared by every registry of a parallel run. Spans carry wall-clock times
+// and are therefore a diagnostic channel, deliberately separate from the
+// deterministic Snapshot.
+type TraceSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewTraceSink wraps w in a buffered JSONL encoder. If w is also an
+// io.Closer (a file), Close closes it after flushing.
+func NewTraceSink(w io.Writer) *TraceSink {
+	bw := bufio.NewWriter(w)
+	s := &TraceSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// SpanEvent is the JSONL record of one completed span.
+type SpanEvent struct {
+	Span    string         `json:"span"`
+	ID      int64          `json:"id"`
+	StartUS int64          `json:"start_us"` // µs since Unix epoch
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func (s *TraceSink) emit(ev SpanEvent) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(ev) // diagnostics must never fail the run
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *TraceSink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// Close flushes and, when the sink owns a closable writer, closes it.
+func (s *TraceSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed region of a run. A nil span (tracing disabled) no-ops.
+type Span struct {
+	r     *Registry
+	sink  *TraceSink
+	name  string
+	id    int64
+	start time.Time
+	attrs map[string]any
+}
+
+// StartSpan opens a span when a trace sink is attached; otherwise it returns
+// nil, making disabled tracing a single nil-check at both ends.
+func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sink := r.sink
+	clock := r.clock
+	r.mu.Unlock()
+	if sink == nil {
+		return nil
+	}
+	sp := &Span{
+		r:     r,
+		sink:  sink,
+		name:  name,
+		id:    r.spanSeq.Add(1),
+		start: clock.Now(),
+	}
+	for _, a := range attrs {
+		sp.Annotate(a.Key, a.Value)
+	}
+	return sp
+}
+
+// Annotate attaches (or overwrites) one attribute. Nil-safe.
+func (sp *Span) Annotate(key string, value any) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]any, 4)
+	}
+	sp.attrs[key] = value
+}
+
+// End closes the span and emits its JSONL event. Nil-safe.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := sp.r.Now()
+	sp.sink.emit(SpanEvent{
+		Span:    sp.name,
+		ID:      sp.id,
+		StartUS: sp.start.UnixMicro(),
+		DurUS:   end.Sub(sp.start).Microseconds(),
+		Attrs:   sp.attrs,
+	})
+}
+
+// ctxKey is the private context key for registry plumbing.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying r, so deep call stacks (experiment bodies,
+// protocol builders) can pick up the run's registry without signature churn.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the registry from ctx (nil when absent — the no-op
+// default).
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 )
 
 // Type identifies a pebble (P_i, t).
@@ -68,6 +69,9 @@ type Protocol struct {
 	Host  *graph.Graph
 	T     int    // guest steps simulated
 	Steps [][]Op // Steps[τ] = operations of host step τ+1
+	// Obs, when non-nil, receives validation metrics: ops by kind, host
+	// steps, and a "pebble.validate" span timing the replay.
+	Obs *obs.Registry `json:"-"`
 }
 
 // HostSteps returns T', the number of host steps.
@@ -111,6 +115,9 @@ func (pr *Protocol) OpCount() int {
 //
 // It returns the final state for further analysis.
 func (pr *Protocol) Validate() (*State, error) {
+	sp := pr.Obs.StartSpan("pebble.validate",
+		obs.KV("host_steps", pr.HostSteps()), obs.KV("guest_steps", pr.T))
+	defer sp.End()
 	st := NewState(pr.Guest, pr.Host, pr.T)
 	for τ, step := range pr.Steps {
 		if err := st.ApplyStep(step); err != nil {
@@ -122,5 +129,24 @@ func (pr *Protocol) Validate() (*State, error) {
 			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, pr.T)
 		}
 	}
+	pr.observeValidate()
 	return st, nil
+}
+
+// observeValidate records the protocol's operational profile. All metric work
+// sits here, after a successful replay, so Validate's hot loop pays only the
+// Obs nil-check; the counts come from Stats and are pure functions of the
+// protocol, hence deterministic.
+func (pr *Protocol) observeValidate() {
+	if pr.Obs == nil {
+		return
+	}
+	s := pr.Stats()
+	pr.Obs.Counter("pebble.validations").Inc()
+	pr.Obs.Counter("pebble.host_steps").Add(int64(s.HostSteps))
+	pr.Obs.Counter("pebble.ops").Add(int64(s.TotalOps))
+	pr.Obs.Counter("pebble.ops.generate").Add(int64(s.Generates))
+	pr.Obs.Counter("pebble.ops.send").Add(int64(s.Sends))
+	pr.Obs.Counter("pebble.ops.receive").Add(int64(s.Receives))
+	pr.Obs.Gauge("pebble.max_step_ops").SetMax(int64(s.MaxStepOps))
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 )
 
 // Deflection ("hot-potato") routing: nodes have no buffers — every packet
@@ -22,10 +23,17 @@ import (
 type DeflectionRouter struct {
 	Seed    int64
 	MaxStep int // 0 ⇒ heuristic bound
+	// Obs, when non-nil, receives per-phase metrics plus the deflection
+	// count — how often a packet lost link arbitration and moved away from
+	// its destination.
+	Obs *obs.Registry
 }
 
 // Name implements Router.
 func (r *DeflectionRouter) Name() string { return "deflection" }
+
+// SetObs implements Instrumentable.
+func (r *DeflectionRouter) SetObs(reg *obs.Registry) { r.Obs = reg }
 
 // Route implements Router.
 func (r *DeflectionRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
@@ -65,6 +73,7 @@ func (r *DeflectionRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 		maxStep = 256 * (diam + 1) * (p.H() + 1)
 	}
 
+	deflections := 0
 	for step := 0; len(live) > 0; step++ {
 		if step >= maxStep {
 			return res, fmt.Errorf("routing: deflection step bound %d exceeded with %d live packets", maxStep, len(live))
@@ -112,6 +121,7 @@ func (r *DeflectionRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 						return res, fmt.Errorf("routing: node %d out of links (invariant violated)", v)
 					}
 					chosen = free[rng.Intn(len(free))]
+					deflections++
 				}
 				linkUsed[chosen] = true
 				pk.at = chosen
@@ -143,6 +153,10 @@ func (r *DeflectionRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 		}
 		live = stillLive
 		res.Steps = step + 1
+	}
+	if r.Obs != nil {
+		observePhase(r.Obs, "deflection", &res)
+		r.Obs.Counter("routing.deflections").Add(int64(deflections))
 	}
 	return res, nil
 }

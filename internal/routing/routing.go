@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 )
 
 // Pair is one packet demand: route one packet from Src to Dst.
@@ -157,6 +158,48 @@ type Router interface {
 	Name() string
 }
 
+// Instrumentable is implemented by routers that can report metrics to an
+// obs.Registry. Simulators use it to thread their registry into whatever
+// router a Host bundles, without knowing the concrete type.
+type Instrumentable interface {
+	SetObs(*obs.Registry)
+}
+
+// SetObs attaches reg to r when r supports instrumentation (and, for
+// wrapping routers, recursively to the wrapped router). A nil reg detaches.
+func SetObs(r Router, reg *obs.Registry) {
+	if ins, ok := r.(Instrumentable); ok {
+		ins.SetObs(reg)
+	}
+}
+
+// observePhase records one completed routing phase: counters for phases,
+// steps, hops and deliveries; a monotone max gauge plus a congestion
+// histogram for queue occupancy — the per-phase queue statistics the
+// Leighton-style routing analyses reason about. One call per Route, outside
+// every loop; all values derive from the deterministic Result.
+func observePhase(reg *obs.Registry, kind string, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("routing.phases").Inc()
+	reg.Counter("routing.phases." + kind).Inc()
+	reg.Counter("routing.steps").Add(int64(res.Steps))
+	reg.Counter("routing.hops").Add(int64(res.TotalHops))
+	reg.Counter("routing.delivered").Add(int64(res.Delivered))
+	reg.Gauge("routing.max_queue").SetMax(int64(res.MaxQueue))
+	reg.Histogram("routing.queue_per_phase", queueBuckets).Observe(int64(res.MaxQueue))
+	reg.Histogram("routing.steps_per_phase", stepBuckets).Observe(int64(res.Steps))
+}
+
+// queueBuckets and stepBuckets are the fixed histogram bounds for phase
+// congestion and phase length. Powers of two: the quantities of interest
+// scale with log m.
+var (
+	queueBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	stepBuckets  = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+)
+
 // NextHopPolicy chooses, per packet, the neighbor to forward to. It is given
 // the packet's current node and destination plus the precomputed distance
 // vector to the destination, and must return a neighbor strictly closer to
@@ -235,12 +278,17 @@ type GreedyRouter struct {
 	Policy  NextHopPolicy // nil ⇒ MinIndexNextHop
 	Seed    int64
 	MaxStep int // safety bound; 0 ⇒ 64·(diameter+1)·(h+1) heuristic
+	// Obs, when non-nil, receives per-phase routing metrics.
+	Obs *obs.Registry
 }
 
 // Name implements Router.
 func (r *GreedyRouter) Name() string {
 	return fmt.Sprintf("greedy(%s)", r.Mode)
 }
+
+// SetObs implements Instrumentable.
+func (r *GreedyRouter) SetObs(reg *obs.Registry) { r.Obs = reg }
 
 // Route implements Router.
 func (r *GreedyRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
@@ -346,6 +394,7 @@ func (r *GreedyRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 		live = next
 		res.Steps = step + 1
 	}
+	observePhase(r.Obs, "greedy", &res)
 	return res, nil
 }
 
@@ -361,10 +410,16 @@ func clearMap(m map[int]int) {
 type ValiantRouter struct {
 	Mode PortMode
 	Seed int64
+	// Obs, when non-nil, receives per-phase routing metrics (the two
+	// Valiant phases report through the greedy sub-router).
+	Obs *obs.Registry
 }
 
 // Name implements Router.
 func (r *ValiantRouter) Name() string { return fmt.Sprintf("valiant(%s)", r.Mode) }
+
+// SetObs implements Instrumentable.
+func (r *ValiantRouter) SetObs(reg *obs.Registry) { r.Obs = reg }
 
 // Route implements Router.
 func (r *ValiantRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
@@ -377,7 +432,7 @@ func (r *ValiantRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 		phase1[i] = Pair{Src: pr.Src, Dst: inter[i]}
 		phase2[i] = Pair{Src: inter[i], Dst: pr.Dst}
 	}
-	sub := &GreedyRouter{Mode: r.Mode, Policy: RandomNextHop, Seed: r.Seed + 1}
+	sub := &GreedyRouter{Mode: r.Mode, Policy: RandomNextHop, Seed: r.Seed + 1, Obs: r.Obs}
 	res1, err := sub.Route(g, &Problem{N: p.N, Pairs: phase1})
 	if err != nil {
 		return Result{}, fmt.Errorf("routing: valiant phase 1: %w", err)
@@ -409,17 +464,28 @@ func (r *ValiantRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 type CachedRouter struct {
 	Inner Router
 	cache map[string]Result
+	// Obs, when non-nil, counts schedule-cache hits and misses.
+	Obs *obs.Registry
 }
 
 // Name implements Router.
 func (r *CachedRouter) Name() string { return "cached(" + r.Inner.Name() + ")" }
 
+// SetObs implements Instrumentable, threading reg through to the inner
+// router as well.
+func (r *CachedRouter) SetObs(reg *obs.Registry) {
+	r.Obs = reg
+	SetObs(r.Inner, reg)
+}
+
 // Route implements Router.
 func (r *CachedRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 	key := problemKey(g, p)
 	if res, ok := r.cache[key]; ok {
+		r.Obs.Counter("routing.cache.hits").Inc()
 		return res, nil
 	}
+	r.Obs.Counter("routing.cache.misses").Inc()
 	res, err := r.Inner.Route(g, p)
 	if err != nil {
 		return res, err

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 )
 
 // State is one processor configuration. The pebble-game model transmits a
@@ -32,6 +33,10 @@ type Computation struct {
 	Init []State
 	Step Transition
 	Name string
+	// Obs, when non-nil, receives engine metrics (steps executed, state
+	// updates, parallel-shard utilization). Nil — the default — costs the
+	// engine nothing beyond a nil-check per run.
+	Obs *obs.Registry
 }
 
 // NewComputation validates the sizes and returns a Computation.
@@ -94,6 +99,7 @@ func (c *Computation) Run(T int) (*Trace, error) {
 		return nil, fmt.Errorf("sim: negative step count %d", T)
 	}
 	n := c.G.N()
+	defer c.observeRun(T, 1)()
 	tr := &Trace{States: make([][]State, T+1)}
 	tr.States[0] = append([]State(nil), c.Init...)
 	nbuf := make([]State, 0, c.G.MaxDegree())
@@ -143,6 +149,32 @@ func (c *Computation) VerifyTrace(tr *Trace) error {
 	return nil
 }
 
+// observeRun records one engine run on c.Obs and returns the deferred span
+// closer. All metric work happens here, once per run — the per-step and
+// per-processor loops stay untouched, so a nil registry costs one nil-check.
+// Metrics are pure functions of (n, T, workers) and thus deterministic.
+func (c *Computation) observeRun(T, workers int) func() {
+	if c.Obs == nil {
+		return func() {}
+	}
+	n := int64(c.G.N())
+	c.Obs.Counter("sim.runs").Inc()
+	c.Obs.Counter("sim.steps").Add(int64(T))
+	c.Obs.Counter("sim.state_updates").Add(n * int64(T))
+	if workers > 1 {
+		c.Obs.Counter("sim.parallel.runs").Inc()
+		c.Obs.Gauge("sim.parallel.workers").SetMax(int64(workers))
+		// Shards per step: how the processor range splits over workers —
+		// the parallel engine's utilization signal.
+		chunk := (int(n) + workers - 1) / workers
+		shards := (int(n) + chunk - 1) / chunk
+		c.Obs.Counter("sim.parallel.shards").Add(int64(shards) * int64(T))
+	}
+	sp := c.Obs.StartSpan("sim.run",
+		obs.KV("name", c.Name), obs.KV("n", c.G.N()), obs.KV("steps", T), obs.KV("workers", workers))
+	return sp.End
+}
+
 // RunParallel executes T steps like Run, sharding each step's processor
 // updates over up to `workers` goroutines (0 ⇒ GOMAXPROCS). The result is
 // bit-identical to Run — each worker writes disjoint entries of the next
@@ -161,6 +193,7 @@ func (c *Computation) RunParallel(T, workers int) (*Trace, error) {
 	if workers <= 1 {
 		return c.Run(T)
 	}
+	defer c.observeRun(T, workers)()
 	tr := &Trace{States: make([][]State, T+1)}
 	tr.States[0] = append([]State(nil), c.Init...)
 	chunk := (n + workers - 1) / workers

@@ -6,6 +6,7 @@ import (
 
 	"universalnet/internal/faults"
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/routing"
 	"universalnet/internal/sim"
 )
@@ -46,6 +47,9 @@ type FaultTolerantSimulator struct {
 	Replicas [][]int
 	// Plan is the fault schedule; nil means an ideal host.
 	Plan *faults.Plan
+	// Obs, when non-nil, receives the run's fault counters (failover and
+	// re-embedding events included), host-step histogram, and a run span.
+	Obs *obs.Registry
 }
 
 // FaultReport extends RunReport with fault accounting.
@@ -208,6 +212,11 @@ func (ft *FaultTolerantSimulator) Run(c *sim.Computation, T int) (*FaultReport, 
 		return nil
 	}
 
+	hostStepHist := ft.Obs.Histogram("universal.host_steps_per_guest_step", hostStepBuckets)
+	sp := ft.Obs.StartSpan("universal.ft.run",
+		obs.KV("guest", c.Name), obs.KV("n", n), obs.KV("m", m), obs.KV("steps", T))
+	defer sp.End()
+
 	nbuf := make([]sim.State, 0, guest.MaxDegree())
 	for t := 1; t <= T; t++ {
 		// 1. Apply scheduled faults at the start of the step.
@@ -313,6 +322,7 @@ func (ft *FaultTolerantSimulator) Run(c *sim.Computation, T int) (*FaultReport, 
 		}
 
 		// 4. Distribution phase under the message-fault model.
+		stepRoute := 0
 		if len(pairs) > 0 {
 			res, err := faults.RoutePhase(ft.Host.Router, active, &routing.Problem{N: m, Pairs: pairs}, plan, t)
 			rep.Counters.Add(res.Counters)
@@ -323,6 +333,7 @@ func (ft *FaultTolerantSimulator) Run(c *sim.Computation, T int) (*FaultReport, 
 				return nil, fmt.Errorf("universal: fault-tolerant routing at step %d: %w", t, err)
 			}
 			rep.RouteSteps += res.Steps
+			stepRoute = res.Steps
 		}
 		inbox := make(map[[3]int]sim.State) // (j, ri, i) → fetched state
 		for _, f := range fetches {
@@ -374,6 +385,7 @@ func (ft *FaultTolerantSimulator) Run(c *sim.Computation, T int) (*FaultReport, 
 		}
 		state = next
 		rep.ComputeSteps += maxLoad
+		hostStepHist.Observe(int64(stepRoute + maxLoad))
 		if maxLoad > rep.MaxLoad {
 			rep.MaxLoad = maxLoad
 		}
@@ -391,5 +403,13 @@ func (ft *FaultTolerantSimulator) Run(c *sim.Computation, T int) (*FaultReport, 
 		rep.Inefficiency = rep.Slowdown * float64(m) / float64(n)
 	}
 	rep.Trace = trace
+	if ft.Obs != nil {
+		ft.Obs.Counter("universal.ft.runs").Inc()
+		ft.Obs.Counter("universal.guest_steps").Add(int64(T))
+		ft.Obs.Counter("universal.route_steps").Add(int64(rep.RouteSteps))
+		ft.Obs.Counter("universal.compute_steps").Add(int64(rep.ComputeSteps))
+		ft.Obs.Gauge("universal.max_load").SetMax(int64(rep.MaxLoad))
+		rep.Counters.Record(ft.Obs)
+	}
 	return rep, nil
 }

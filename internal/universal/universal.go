@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/routing"
 	"universalnet/internal/sim"
 )
@@ -36,7 +37,17 @@ type EmbeddingSimulator struct {
 	// F[i] is the host processor simulating guest processor i. Nil selects
 	// the balanced assignment i mod m.
 	F []int
+	// Obs, when non-nil, receives simulation metrics — most importantly the
+	// host-steps-per-guest-step histogram, the measured distribution behind
+	// the Theorem 2.1 slowdown s = (host steps)/(guest steps). It is also
+	// threaded into the routing substrate for per-phase congestion stats.
+	Obs *obs.Registry
 }
+
+// hostStepBuckets bounds the host-steps-per-guest-step histogram: the
+// Theorem 2.1 prediction is ⌈n/m⌉·O(log m), so powers of two up to 1024
+// cover every experiment regime.
+var hostStepBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // RunReport summarizes one simulated execution.
 type RunReport struct {
@@ -123,6 +134,14 @@ func (es *EmbeddingSimulator) Run(c *sim.Computation, T int) (*RunReport, error)
 	// route it once and replay the schedule's cost. Routers here are
 	// deterministic for a fixed seed, so this changes wall-clock only.
 	router := &routing.CachedRouter{Inner: es.Host.Router}
+	if es.Obs != nil {
+		routing.SetObs(router, es.Obs)
+	}
+	// Resolved once; nil when disabled, and Observe on nil is a no-op.
+	hostStepHist := es.Obs.Histogram("universal.host_steps_per_guest_step", hostStepBuckets)
+	sp := es.Obs.StartSpan("universal.run",
+		obs.KV("guest", c.Name), obs.KV("n", n), obs.KV("m", m), obs.KV("steps", T))
+	defer sp.End()
 
 	rep := &RunReport{GuestSteps: T, MaxLoad: maxLoad}
 	trace := &sim.Trace{States: make([][]sim.State, T+1)}
@@ -132,13 +151,16 @@ func (es *EmbeddingSimulator) Run(c *sim.Computation, T int) (*RunReport, error)
 	for t := 1; t <= T; t++ {
 		// Distribution phase for configurations of time t−1 (the initial
 		// configurations also need distributing, hence phase-before-compute).
+		stepRoute := 0
 		if len(pairs) > 0 {
 			res, err := router.Route(es.Host.Graph, problem)
 			if err != nil {
 				return nil, fmt.Errorf("universal: routing at guest step %d: %w", t, err)
 			}
 			rep.RouteSteps += res.Steps
+			stepRoute = res.Steps
 		}
+		hostStepHist.Observe(int64(stepRoute + maxLoad))
 		for _, d := range deliveries {
 			src := f[d.i]
 			if memT[src][d.i] != t-1 {
@@ -179,5 +201,12 @@ func (es *EmbeddingSimulator) Run(c *sim.Computation, T int) (*RunReport, error)
 		rep.Inefficiency = rep.Slowdown * float64(m) / float64(n)
 	}
 	rep.Trace = trace
+	if es.Obs != nil {
+		es.Obs.Counter("universal.runs").Inc()
+		es.Obs.Counter("universal.guest_steps").Add(int64(T))
+		es.Obs.Counter("universal.route_steps").Add(int64(rep.RouteSteps))
+		es.Obs.Counter("universal.compute_steps").Add(int64(rep.ComputeSteps))
+		es.Obs.Gauge("universal.max_load").SetMax(int64(maxLoad))
+	}
 	return rep, nil
 }
