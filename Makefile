@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-smoke load-smoke report examples cover clean
 
 all: build test
 
@@ -35,6 +35,12 @@ bench-json:
 # in the bench harness without paying for full measurement.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# End-to-end service smoke: serve + uninetload, asserting zero errors,
+# cache hits in the warm phase, and at least one 429 under an over-capacity
+# burst (see scripts/load_smoke.sh).
+load-smoke:
+	sh scripts/load_smoke.sh
 
 # Run the full E1..E23 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.

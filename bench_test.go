@@ -36,8 +36,10 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"universalnet/internal/experiments"
+	"universalnet/internal/service"
 	"universalnet/internal/topology"
 )
 
@@ -575,4 +577,52 @@ func BenchmarkPipelinedProtocol(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceCacheHit quantifies the service's caching story: the
+// same simulation request answered cold (every iteration a fresh seed, so
+// every iteration computes) versus warm (one seed, primed once, so every
+// iteration is a result-cache hit). The warm path is the steady state of a
+// serve deployment — the schedule and result are "known in advance" (§2)
+// after the first request.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	newSvc := func(b *testing.B) *service.Service {
+		s := service.New(service.Config{Workers: 2, QueueDepth: 64, CacheBudget: 64 << 20})
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Close(ctx); err != nil {
+				b.Error(err)
+			}
+		})
+		return s
+	}
+	req := service.SimulateRequest{Topology: "torus", N: 64, M: 16, Seed: 1, Steps: 4}
+	b.Run("cold", func(b *testing.B) {
+		s := newSvc(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Seed = int64(i) + 1 // fresh key: forces a computation
+			if _, err := s.Simulate(context.Background(), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := newSvc(b)
+		if _, err := s.Simulate(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Simulate(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
 }

@@ -84,7 +84,7 @@ commands:
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
   report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E23 suite)
-  serve      [-addr A] [-only IDs] [-parallel N] [-once] [-seed S] [-trace F]   (suite + live metrics: /metrics, /debug/vars, /debug/pprof/)
+  serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]   (suite + live metrics + /v1 service)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)
 }

@@ -19,6 +19,7 @@ import (
 	"universalnet/internal/experiments"
 	"universalnet/internal/faults"
 	"universalnet/internal/obs"
+	"universalnet/internal/service"
 )
 
 // liveRegistry is the registry the expvar callback reads. It is a package
@@ -42,9 +43,11 @@ var publishOnce = func() func() {
 
 // cmdServe runs the experiment suite with a live run-level metrics registry
 // and serves it over HTTP: expvar at /debug/vars (key "uninet"), pprof under
-// /debug/pprof/, and the bare aggregated snapshot at /metrics. After the
-// suite completes the server keeps running for inspection until interrupted
-// (or, with -once, exits immediately).
+// /debug/pprof/, the bare aggregated snapshot at /metrics, and the
+// simulation service under /v1/ (POST simulate|route|embed, GET status).
+// After the suite completes the server keeps running — now primarily as a
+// request-serving node — until interrupted (or, with -once, exits
+// immediately).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8214", "listen address")
@@ -56,6 +59,8 @@ func cmdServe(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault scenario's deterministic schedule")
 	tracePath := fs.String("trace", "", "write per-span JSONL tracing to this file")
 	once := fs.Bool("once", false, "exit when the suite completes instead of serving until interrupted")
+	queue := fs.Int("queue", 0, "service admission-queue depth; 0 = 4×workers")
+	serviceWorkers := fs.Int("service-workers", 0, "service worker-pool size; 0 = GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,10 +83,12 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	return runServe(ctx, ln, exps, cfg, serveOpts{
-		parallel:  *parallel,
-		timeout:   *timeout,
-		tracePath: *tracePath,
-		once:      *once,
+		parallel:       *parallel,
+		timeout:        *timeout,
+		tracePath:      *tracePath,
+		once:           *once,
+		queue:          *queue,
+		serviceWorkers: *serviceWorkers,
 	}, os.Stdout)
 }
 
@@ -91,13 +98,25 @@ type serveOpts struct {
 	timeout   time.Duration
 	tracePath string
 	once      bool
+	// queue and serviceWorkers size the /v1 service (0 = defaults).
+	queue          int
+	serviceWorkers int
+	// drainGrace holds the server in a 503-answering drain window before
+	// the listener is torn down, so in-flight keep-alive connections see an
+	// explicit rejection instead of racing shutdown. 0 = a short default.
+	drainGrace time.Duration
 }
 
-// runServe is the listener-injectable core of cmdServe: it serves metrics on
-// ln, runs the suite against a live run-level registry, and shuts the server
-// down cleanly when ctx is canceled (or right after the suite with
-// opts.once). Split from cmdServe so tests can inject a 127.0.0.1:0 listener
-// and a cancellable context, then assert no goroutines leak.
+// runServe is the listener-injectable core of cmdServe: it serves metrics
+// and the /v1 simulation service on ln, runs the suite against a live
+// run-level registry, and shuts the server down cleanly when ctx is
+// canceled (or right after the suite with opts.once). Shutdown is a
+// two-phase graceful drain: first every new HTTP request is answered 503
+// for a short grace window (so keep-alive clients observe the drain instead
+// of racing the listener teardown) and the service queue drains, then the
+// server itself shuts down. Split from cmdServe so tests can inject a
+// 127.0.0.1:0 listener and a cancellable context, then assert no goroutines
+// leak across the whole drain window.
 func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experiment, cfg experiments.Config, opts serveOpts, out io.Writer) error {
 	reg := obs.New()
 	liveRegistry.Store(reg)
@@ -108,6 +127,12 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		ln.Close()
 		return err
 	}
+
+	svc := service.New(service.Config{
+		Workers:    opts.serviceWorkers,
+		QueueDepth: opts.queue,
+		Obs:        reg,
+	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -122,11 +147,15 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(liveRegistry.Load().Snapshot())
 	})
+	mux.Handle("/v1/", service.Handler(svc))
 
-	srv := &http.Server{Handler: mux}
+	// draining gates every endpoint (not just /v1): once shutdown begins,
+	// new requests on existing connections get an explicit 503.
+	var draining atomic.Bool
+	srv := &http.Server{Handler: service.Drain(draining.Load, mux)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(out, "uninet serve: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(out, "uninet serve: service on http://%s/v1/ (metrics /metrics, expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
 
 	r := &experiments.Runner{Workers: opts.parallel, Timeout: opts.timeout, Obs: reg, Trace: sink}
 	results, runErr := r.Run(ctx, exps, cfg)
@@ -142,10 +171,23 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		<-ctx.Done()
 	}
 
-	// Shutdown with a fresh context: the trigger ctx is typically already
-	// canceled, and in-flight scrape requests deserve a grace period.
+	// Phase 1 of the drain: answer 503 everywhere, let the grace window
+	// elapse so clients mid-keep-alive see the rejection, and drain the
+	// service's queued work. A fresh context: the trigger ctx is typically
+	// already canceled, and in-flight requests deserve a grace period.
+	draining.Store(true)
+	grace := opts.drainGrace
+	if grace == 0 {
+		grace = 100 * time.Millisecond
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- svc.Close(shutCtx) }()
+	time.Sleep(grace)
+	drainErr := <-drainDone
+
+	// Phase 2: tear the server down; Shutdown waits for in-flight handlers.
 	shutErr := srv.Shutdown(shutCtx)
 	<-serveErr // Serve has returned; no goroutine left behind.
 	if err := sink.Close(); err != nil {
@@ -158,6 +200,9 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	}
 	if shutErr != nil {
 		return shutErr
+	}
+	if drainErr != nil {
+		return drainErr
 	}
 	return runErr
 }

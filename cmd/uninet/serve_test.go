@@ -121,6 +121,99 @@ func TestRunServeShutdownNoLeak(t *testing.T) {
 	}
 }
 
+// TestRunServeDrainWindow covers the graceful-drain contract: after the
+// shutdown trigger, the server answers new requests with an explicit 503
+// for the drain-grace window instead of letting them race the listener
+// teardown — and still leaves no goroutine behind afterwards.
+func TestRunServeDrainWindow(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	exps, err := experiments.Select([]string{"E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := experimentConfig(1, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, ln, exps, cfg, serveOpts{
+			parallel:   1,
+			drainGrace: 500 * time.Millisecond,
+		}, &out)
+	}()
+
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	defer tr.CloseIdleConnections()
+
+	// The service must answer before the drain: a real request end to end.
+	body := `{"topology":"ring","n":16,"m":8,"seed":1,"steps":2}`
+	var postErr error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Post("http://"+addr+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err == nil && resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			break
+		}
+		if err == nil {
+			postErr = fmt.Errorf("status %s", resp.Status)
+			resp.Body.Close()
+		} else {
+			postErr = err
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/simulate never answered 200: %v", postErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+
+	// During the grace window new requests must observe an explicit 503 —
+	// not a connection error. Poll through the small gap between cancel()
+	// and the draining flag flipping.
+	saw503 := false
+	deadline = time.Now().Add(2 * time.Second)
+	for !saw503 {
+		resp, err := client.Get("http://" + addr + "/v1/status")
+		if err != nil {
+			t.Fatalf("connection failed before a 503 was observed: %v", err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("never observed a 503 during the drain window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr.CloseIdleConnections()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v, want nil on interrupt", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runServe did not return after cancel")
+	}
+	// Every goroutine from the server, the service worker pool, and the
+	// drain machinery must be gone.
+	waitGoroutines(t, baseline+2)
+}
+
 // TestRunServeOnce covers the -once path: runServe returns by itself after
 // the suite, reporting suite errors, without waiting for a cancel.
 func TestRunServeOnce(t *testing.T) {

@@ -1,0 +1,368 @@
+// Command uninetload drives a running `uninet serve` instance with
+// synthetic /v1 traffic and reports latency percentiles and error rates.
+//
+// Two generator disciplines are supported:
+//
+//   - closed loop (-mode closed): -c workers each keep exactly one request
+//     in flight, so offered load adapts to service latency. This measures
+//     best-case latency under a fixed concurrency.
+//   - open loop (-mode open): requests are launched on a fixed -rps
+//     schedule regardless of completions, the discipline that actually
+//     exercises admission control — when the service falls behind, requests
+//     pile into the bounded queue and the overflow is rejected with 429.
+//
+// 429 responses are counted as rejections (the backpressure working as
+// designed), not errors; any other non-200 outcome is an error and makes
+// the process exit nonzero. Latencies are recorded both exactly (for
+// p50/p95/p99/max) and into an obs histogram whose snapshot rides along in
+// the -json report next to the server's own /v1/status.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"universalnet/internal/obs"
+)
+
+// opts bundles the generator's knobs.
+type opts struct {
+	addr     string
+	endpoint string
+	mode     string
+	c        int
+	rps      float64
+	duration time.Duration
+
+	topology string
+	n        int
+	m        int
+	steps    int
+	deg      int
+	seeds    int64
+	seedBase int64
+	deadline int
+
+	jsonOut bool
+
+	assertRejections bool
+	assertCacheHits  bool
+}
+
+func main() {
+	var o opts
+	fs := flag.NewFlagSet("uninetload", flag.ExitOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8214", "server address (host:port or http URL)")
+	fs.StringVar(&o.endpoint, "endpoint", "simulate", "request kind: simulate|route|embed|mix")
+	fs.StringVar(&o.mode, "mode", "closed", "generator discipline: closed|open")
+	fs.IntVar(&o.c, "c", 4, "closed-loop concurrency (workers with one request in flight each)")
+	fs.Float64Var(&o.rps, "rps", 50, "open-loop arrival rate (requests per second)")
+	fs.DurationVar(&o.duration, "duration", 2*time.Second, "how long to generate load")
+	fs.StringVar(&o.topology, "topology", "torus", "host topology: torus|ring|expander|butterfly|ccc")
+	fs.IntVar(&o.n, "n", 64, "guest size (simulate/embed)")
+	fs.IntVar(&o.m, "m", 16, "host size (or dimension for butterfly/ccc)")
+	fs.IntVar(&o.steps, "steps", 4, "guest steps per simulate request")
+	fs.IntVar(&o.deg, "deg", 4, "guest degree")
+	fs.Int64Var(&o.seeds, "seeds", 1, "number of distinct seeds to cycle through (1 = maximal cache reuse)")
+	fs.Int64Var(&o.seedBase, "seed-base", 1, "first seed of the cycle")
+	fs.IntVar(&o.deadline, "deadline-ms", 0, "per-request deadline in ms (0 = server default)")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON on stdout")
+	fs.BoolVar(&o.assertRejections, "assert-rejections", false, "exit nonzero unless at least one request was rejected (429)")
+	fs.BoolVar(&o.assertCacheHits, "assert-cache-hits", false, "exit nonzero unless the server reports result-cache hits")
+	_ = fs.Parse(os.Args[1:])
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uninetload:", err)
+		os.Exit(1)
+	}
+}
+
+// latencyBuckets bounds the load generator's latency histogram in
+// microseconds — client-side latencies for cached answers are far below a
+// millisecond, so the service's ms buckets would flatten them.
+var latencyBuckets = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000, 5000000}
+
+// outcome tallies one request's fate.
+type outcome struct {
+	latencyUS int64
+	status    int // 0 = transport error
+	cached    bool
+	err       error
+}
+
+// report is the end-of-run summary (also the -json document).
+type report struct {
+	Endpoint   string  `json:"endpoint"`
+	Mode       string  `json:"mode"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Cached     int     `json:"cached"`
+	Rejected   int     `json:"rejected"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_rps"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+
+	Client *obs.Snapshot   `json:"client,omitempty"`
+	Server json.RawMessage `json:"server,omitempty"`
+}
+
+func run(o opts, out io.Writer) error {
+	switch o.mode {
+	case "closed", "open":
+	default:
+		return fmt.Errorf("unknown -mode %q (closed|open)", o.mode)
+	}
+	switch o.endpoint {
+	case "simulate", "route", "embed", "mix":
+	default:
+		return fmt.Errorf("unknown -endpoint %q (simulate|route|embed|mix)", o.endpoint)
+	}
+	if o.seeds < 1 {
+		o.seeds = 1
+	}
+	base := o.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	reg := obs.New()
+	hist := reg.Histogram("load.latency_us", latencyBuckets)
+
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		seq      int64
+	)
+	record := func(oc outcome) {
+		hist.Observe(oc.latencyUS)
+		switch {
+		case oc.status == http.StatusOK:
+			reg.Counter("load.ok").Inc()
+		case oc.status == http.StatusTooManyRequests:
+			reg.Counter("load.rejected").Inc()
+		default:
+			reg.Counter("load.errors").Inc()
+		}
+		mu.Lock()
+		outcomes = append(outcomes, oc)
+		mu.Unlock()
+	}
+	next := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		seq++
+		return seq
+	}
+
+	start := time.Now()
+	stop := start.Add(o.duration)
+	var wg sync.WaitGroup
+	if o.mode == "closed" {
+		for w := 0; w < o.c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					record(shoot(client, base, o, next()))
+				}
+			}()
+		}
+	} else {
+		interval := time.Duration(float64(time.Second) / o.rps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for time.Now().Before(stop) {
+			<-ticker.C
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(shoot(client, base, o, next()))
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(o, outcomes, elapsed)
+	rep.Client = reg.Snapshot()
+	if raw, err := fetchStatus(client, base); err == nil {
+		rep.Server = raw
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, rep)
+	}
+
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d requests failed", rep.Errors)
+	}
+	if o.assertRejections && rep.Rejected == 0 {
+		return fmt.Errorf("assert-rejections: no request was rejected (429)")
+	}
+	if o.assertCacheHits {
+		hits, err := serverCacheHits(rep.Server)
+		if err != nil {
+			return fmt.Errorf("assert-cache-hits: %w", err)
+		}
+		if hits == 0 {
+			return fmt.Errorf("assert-cache-hits: server reports zero result-cache hits")
+		}
+	}
+	return nil
+}
+
+// shoot fires one request and measures it. The i-th request derives its
+// seed from the cycle, so -seeds 1 replays one cache key forever while a
+// large -seeds forces fresh computations.
+func shoot(client *http.Client, base string, o opts, i int64) outcome {
+	kind := o.endpoint
+	if kind == "mix" {
+		kind = []string{"simulate", "route", "embed"}[i%3]
+	}
+	seed := o.seedBase + i%o.seeds
+	var body map[string]any
+	switch kind {
+	case "simulate":
+		body = map[string]any{"topology": o.topology, "n": o.n, "m": o.m, "seed": seed, "steps": o.steps, "guest_degree": o.deg}
+	case "route":
+		body = map[string]any{"topology": o.topology, "m": o.m, "seed": seed}
+	case "embed":
+		body = map[string]any{"topology": o.topology, "n": o.n, "m": o.m, "seed": seed, "guest_degree": o.deg}
+	}
+	if o.deadline > 0 {
+		body["deadline_ms"] = o.deadline
+	}
+	buf, _ := json.Marshal(body)
+
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/"+kind, "application/json", bytes.NewReader(buf))
+	lat := time.Since(t0).Microseconds()
+	if err != nil {
+		return outcome{latencyUS: lat, err: err}
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Cached bool `json:"cached"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&res)
+	return outcome{latencyUS: lat, status: resp.StatusCode, cached: res.Cached}
+}
+
+// summarize folds the raw outcomes into the report. Percentiles are exact
+// (nearest-rank over the sorted successful-request latencies).
+func summarize(o opts, outcomes []outcome, elapsed time.Duration) report {
+	rep := report{
+		Endpoint:  o.endpoint,
+		Mode:      o.mode,
+		DurationS: elapsed.Seconds(),
+		Requests:  len(outcomes),
+	}
+	var lats []int64
+	for _, oc := range outcomes {
+		switch {
+		case oc.status == http.StatusOK:
+			rep.OK++
+			if oc.cached {
+				rep.Cached++
+			}
+			lats = append(lats, oc.latencyUS)
+		case oc.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.P50MS = float64(quantile(lats, 0.50)) / 1000
+		rep.P95MS = float64(quantile(lats, 0.95)) / 1000
+		rep.P99MS = float64(quantile(lats, 0.99)) / 1000
+		rep.MaxMS = float64(lats[len(lats)-1]) / 1000
+	}
+	return rep
+}
+
+// quantile is the nearest-rank quantile of an ascending slice.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func printReport(out io.Writer, rep report) {
+	fmt.Fprintf(out, "uninetload: %s/%s  %.2fs  %d requests (%.1f ok/s)\n",
+		rep.Endpoint, rep.Mode, rep.DurationS, rep.Requests, rep.Throughput)
+	fmt.Fprintf(out, "  ok %d (cached %d)  rejected %d  errors %d\n",
+		rep.OK, rep.Cached, rep.Rejected, rep.Errors)
+	fmt.Fprintf(out, "  latency ms  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+		rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+}
+
+// fetchStatus grabs the server's /v1/status document verbatim.
+func fetchStatus(client *http.Client, base string) (json.RawMessage, error) {
+	resp, err := client.Get(base + "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
+// serverCacheHits digs the result-cache hit counter out of a /v1/status
+// document.
+func serverCacheHits(raw json.RawMessage) (int64, error) {
+	if len(raw) == 0 {
+		return 0, fmt.Errorf("no /v1/status document was captured")
+	}
+	var st struct {
+		Cache struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return 0, err
+	}
+	return st.Cache.Hits, nil
+}

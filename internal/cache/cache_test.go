@@ -1,0 +1,208 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"universalnet/internal/obs"
+)
+
+func TestGetAddBasics(t *testing.T) {
+	reg := obs.New()
+	c := New[string, int]("test", 100, func(int) int64 { return 10 }, reg)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Add("a", 2) // replace
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Get(a) after replace = %d, want 2", v)
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("Len=%d Bytes=%d, want 1, 10", c.Len(), c.Bytes())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss", st)
+	}
+	if reg.Counter("test.hits").Value() != 2 {
+		t.Fatal("obs counter test.hits not wired")
+	}
+}
+
+// TestEvictionOrder pins the byte-budget LRU contract: when the budget
+// overflows, the least-recently-*used* entry goes first — a Get refreshes
+// recency, so the untouched entry is the victim.
+func TestEvictionOrder(t *testing.T) {
+	reg := obs.New()
+	c := New[string, int]("test", 30, func(int) int64 { return 10 }, reg)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3)
+	c.Get("a") // refresh a: LRU order is now b, c, a
+	c.Add("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	if got := reg.Counter("test.evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if c.Bytes() != 30 {
+		t.Errorf("Bytes = %d, want 30", c.Bytes())
+	}
+	if got := reg.Gauge("test.bytes").Value(); got != 30 {
+		t.Errorf("bytes gauge = %d, want 30", got)
+	}
+}
+
+func TestOversizeValueNotStored(t *testing.T) {
+	c := New[string, []byte]("test", 8, func(b []byte) int64 { return int64(len(b)) }, nil)
+	c.Add("small", make([]byte, 4))
+	c.Add("huge", make([]byte, 64))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversize value stored")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversize insert flushed an unrelated entry")
+	}
+}
+
+// TestGetOrComputeSingleflight is the dedup contract of the ISSUE: N
+// concurrent identical requests must trigger exactly one computation, and
+// every caller gets its result.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New[string, int]("test", 1<<20, nil, obs.New())
+	var computes atomic.Int64
+	const N = 64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrCompute("key", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return 42, nil
+			})
+			if err != nil {
+				errs <- err
+			} else if v != 42 {
+				errs <- fmt.Errorf("got %d, want 42", v)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for identical concurrent requests, want exactly 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Coalesced+st.Hits != N-1 {
+		t.Errorf("coalesced(%d) + hits(%d) = %d, want %d followers",
+			st.Coalesced, st.Hits, st.Coalesced+st.Hits, N-1)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New[string, int]("test", 100, nil, nil)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.GetOrCompute("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := c.GetOrCompute("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v; want 7, nil", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute called %d times, want 2 (errors are not cached)", calls)
+	}
+	if v, _ = c.GetOrCompute("k", func() (int, error) { calls++; return 0, boom }); v != 7 || calls != 2 {
+		t.Fatal("successful result not served from cache")
+	}
+}
+
+// TestConcurrentStress hammers a small cache from many goroutines with
+// overlapping keys so inserts, hits, coalescing and evictions all race.
+// Meaningful under -race; the invariant checks are byte accounting and
+// that values never cross keys.
+func TestConcurrentStress(t *testing.T) {
+	c := New[int, int]("stress", 64, nil, obs.New()) // budget = 64 entries, 100 keys → constant eviction
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := (w*31 + i) % 100
+				v, err := c.GetOrCompute(key, func() (int, error) {
+					if key%17 == 3 {
+						return 0, errors.New("transient")
+					}
+					return key * 1000, nil
+				})
+				if err == nil && v != key*1000 {
+					t.Errorf("key %d returned foreign value %d", key, v)
+					return
+				}
+				if i%7 == 0 {
+					c.Get(key)
+				}
+				if i%13 == 0 {
+					c.Add(key, key*1000)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b := c.Bytes(); b > 64 {
+		t.Errorf("bytes %d exceed budget 64 after stress", b)
+	}
+	var total int64
+	st := c.Stats()
+	total = st.Hits + st.Misses + st.Coalesced
+	if total == 0 {
+		t.Error("no cache traffic recorded")
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache[string, int]
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache hit")
+	}
+	c.Add("a", 1)
+	v, err := c.GetOrCompute("a", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Errorf("nil GetOrCompute = %d, %v; want pass-through 9", v, err)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("nil cache reports contents")
+	}
+	c.SetObs(obs.New())
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"universalnet/internal/cache"
 	"universalnet/internal/graph"
 	"universalnet/internal/obs"
 )
@@ -460,41 +462,71 @@ func (r *ValiantRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
 // bounded-degree guest's per-step relations "depend on G only, and,
 // therefore, are known in advance" — the schedule is computed once and its
 // cost replayed on repeats. Wrap any deterministic Router; problems are
-// keyed by their full pair multiset.
+// keyed by graph hash plus their full pair multiset.
+//
+// The memo is a shared internal/cache LRU (byte-budgeted, singleflight),
+// so concurrent Route calls for the same problem compute once, and a
+// long-lived router cannot grow without bound. Leave Cache nil for a
+// private cache with DefaultScheduleBudget, or inject a shared one (e.g. a
+// service-wide schedule cache) to amortize across simulators.
 type CachedRouter struct {
 	Inner Router
-	cache map[string]Result
-	// Obs, when non-nil, counts schedule-cache hits and misses.
+	// Cache holds the memoized schedules. Nil ⇒ a private cache is created
+	// on first use.
+	Cache *cache.Cache[string, Result]
+	// Obs, when non-nil, counts schedule-cache hits/misses/evictions (as
+	// routing.cache.*) via the cache's own instrumentation.
 	Obs *obs.Registry
+
+	once sync.Once
+}
+
+// DefaultScheduleBudget bounds a private schedule cache: enough for every
+// experiment in the suite (schedules are ~100 bytes) while capping a
+// long-running server's memory.
+const DefaultScheduleBudget = 1 << 22
+
+// ScheduleSize estimates the bytes a memoized Result occupies, for cache
+// budgets.
+func ScheduleSize(res Result) int64 {
+	return int64(8*5 + 16 + 8*len(res.StepsPerPhase))
+}
+
+// NewScheduleCache builds a cache suitable for CachedRouter.Cache, named
+// routing.cache so its obs counters keep the established metric names.
+func NewScheduleCache(budget int64, reg *obs.Registry) *cache.Cache[string, Result] {
+	return cache.New[string, Result]("routing.cache", budget, ScheduleSize, reg)
 }
 
 // Name implements Router.
 func (r *CachedRouter) Name() string { return "cached(" + r.Inner.Name() + ")" }
 
-// SetObs implements Instrumentable, threading reg through to the inner
-// router as well.
+// init ensures a cache exists and carries the router's registry.
+func (r *CachedRouter) init() {
+	r.once.Do(func() {
+		if r.Cache == nil {
+			r.Cache = NewScheduleCache(DefaultScheduleBudget, r.Obs)
+		} else if r.Obs != nil {
+			r.Cache.SetObs(r.Obs)
+		}
+	})
+}
+
+// SetObs implements Instrumentable, threading reg through to the schedule
+// cache and the inner router as well.
 func (r *CachedRouter) SetObs(reg *obs.Registry) {
 	r.Obs = reg
+	r.init()
+	r.Cache.SetObs(reg)
 	SetObs(r.Inner, reg)
 }
 
 // Route implements Router.
 func (r *CachedRouter) Route(g *graph.Graph, p *Problem) (Result, error) {
-	key := problemKey(g, p)
-	if res, ok := r.cache[key]; ok {
-		r.Obs.Counter("routing.cache.hits").Inc()
-		return res, nil
-	}
-	r.Obs.Counter("routing.cache.misses").Inc()
-	res, err := r.Inner.Route(g, p)
-	if err != nil {
-		return res, err
-	}
-	if r.cache == nil {
-		r.cache = make(map[string]Result)
-	}
-	r.cache[key] = res
-	return res, nil
+	r.init()
+	return r.Cache.GetOrCompute(problemKey(g, p), func() (Result, error) {
+		return r.Inner.Route(g, p)
+	})
 }
 
 // problemKey folds the graph identity and the sorted pair multiset into a

@@ -3,7 +3,9 @@ package universal
 import (
 	"fmt"
 
+	"universalnet/internal/cache"
 	"universalnet/internal/graph"
+	"universalnet/internal/obs"
 	"universalnet/internal/pebble"
 )
 
@@ -22,7 +24,29 @@ type TreeCachedHost struct {
 	C        int // guest degree bound; trees are (c+1)-ary
 	Depth    int // guest steps simulated = tree depth
 	treeSize int
+	// protocols memoizes SimulateProtocol by guest hash on the shared
+	// internal/cache LRU: the protocol depends only on (host, guest), so
+	// repeat simulations of one guest replay it instead of rebuilding the
+	// full tournament schedule. Returned protocols are shared — callers
+	// must treat them as read-only (every current consumer validates or
+	// replays, never mutates).
+	protocols *cache.Cache[uint64, *pebble.Protocol]
 }
+
+// protocolSize estimates a protocol's footprint for the cache budget: each
+// op is four ints plus the pebble pair, and Steps adds a slice header per
+// host step.
+func protocolSize(pr *pebble.Protocol) int64 {
+	ops := 0
+	for _, step := range pr.Steps {
+		ops += len(step)
+	}
+	return int64(48*ops + 24*len(pr.Steps) + 64)
+}
+
+// SetObs wires the host's protocol cache counters
+// (universal.treecache.hits/misses/evictions) onto reg.
+func (h *TreeCachedHost) SetObs(reg *obs.Registry) { h.protocols.SetObs(reg) }
 
 // treeNodeCount returns Σ_{l=0}^{depth} (c+1)^l.
 func treeNodeCount(c, depth int) int {
@@ -60,7 +84,10 @@ func BuildTreeCachedHost(n, c, depth int) (*TreeCachedHost, error) {
 		// Ring over the roots.
 		b.MustAddEdge(i*size, ((i+1)%n)*size)
 	}
-	return &TreeCachedHost{Graph: b.Build(), N: n, C: c, Depth: depth, treeSize: size}, nil
+	return &TreeCachedHost{
+		Graph: b.Build(), N: n, C: c, Depth: depth, treeSize: size,
+		protocols: cache.New[uint64, *pebble.Protocol]("universal.treecache", 1<<24, protocolSize, nil),
+	}, nil
 }
 
 // Root returns the host index of tree i's root.
@@ -82,6 +109,14 @@ func (h *TreeCachedHost) SimulateProtocol(guest *graph.Graph) (*pebble.Protocol,
 	if guest.MaxDegree() > h.C {
 		return nil, fmt.Errorf("universal: guest degree %d exceeds host's c=%d", guest.MaxDegree(), h.C)
 	}
+	return h.protocols.GetOrCompute(guest.Hash(), func() (*pebble.Protocol, error) {
+		return h.buildProtocol(guest)
+	})
+}
+
+// buildProtocol constructs the tournament protocol from scratch; the
+// cacheable core of SimulateProtocol.
+func (h *TreeCachedHost) buildProtocol(guest *graph.Graph) (*pebble.Protocol, error) {
 	T := h.Depth
 	stepsPerLevel := h.C + 2
 	pr := &pebble.Protocol{

@@ -16,6 +16,7 @@ package universal
 import (
 	"fmt"
 
+	"universalnet/internal/cache"
 	"universalnet/internal/graph"
 	"universalnet/internal/obs"
 	"universalnet/internal/routing"
@@ -42,6 +43,12 @@ type EmbeddingSimulator struct {
 	// the Theorem 2.1 slowdown s = (host steps)/(guest steps). It is also
 	// threaded into the routing substrate for per-phase congestion stats.
 	Obs *obs.Registry
+	// Schedules, when non-nil, is a shared routing-schedule cache the
+	// simulator consults before recomputing the fixed ⌈n/m⌉–⌈n/m⌉ relation:
+	// the schedule "depends on G only" (§2), so distinct runs — and distinct
+	// service requests — over the same (host, relation) replay one schedule.
+	// Nil keeps the previous behavior of a private per-run memo.
+	Schedules *cache.Cache[string, routing.Result]
 }
 
 // hostStepBuckets bounds the host-steps-per-guest-step histogram: the
@@ -133,7 +140,7 @@ func (es *EmbeddingSimulator) Run(c *sim.Computation, T int) (*RunReport, error)
 	// The relation is identical every guest step ("known in advance", §2):
 	// route it once and replay the schedule's cost. Routers here are
 	// deterministic for a fixed seed, so this changes wall-clock only.
-	router := &routing.CachedRouter{Inner: es.Host.Router}
+	router := &routing.CachedRouter{Inner: es.Host.Router, Cache: es.Schedules}
 	if es.Obs != nil {
 		routing.SetObs(router, es.Obs)
 	}

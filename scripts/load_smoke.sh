@@ -1,0 +1,56 @@
+#!/bin/sh
+# load_smoke.sh — end-to-end smoke of the /v1 service under load.
+#
+# Starts a deliberately tiny `uninet serve` (one service worker, two queue
+# slots), then drives it with uninetload in two phases:
+#
+#   1. warm closed-loop phase against one request tuple: after the first
+#      computation every answer must come from the result cache, so the run
+#      must finish with zero errors and the server must report cache hits;
+#   2. open-loop burst at an over-capacity arrival rate against a *fresh*
+#      seed: the single worker is busy computing, the two queue slots fill,
+#      and admission control must reject at least one request with 429.
+#
+# Exit nonzero if either phase errors, no cache hit is observed, or no
+# rejection is observed. Used by `make load-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8219}
+BIN=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; wait $SERVE_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+$GO build -o "$BIN/uninet" ./cmd/uninet
+$GO build -o "$BIN/uninetload" ./cmd/uninetload
+
+# A tiny service makes overload cheap to provoke: one worker, two queue
+# slots. -only E2 keeps the startup suite fast.
+"$BIN/uninet" serve -addr "$ADDR" -only E2 -service-workers 1 -queue 2 &
+SERVE_PID=$!
+
+# Wait for the service to answer.
+i=0
+until "$BIN/uninetload" -addr "$ADDR" -endpoint route -topology ring -m 8 -duration 10ms >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "load_smoke: server never came up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== phase 1: warm closed loop (cache hits, zero errors) =="
+"$BIN/uninetload" -addr "$ADDR" -endpoint simulate -mode closed -c 4 \
+    -duration 2s -topology torus -n 64 -m 16 -seeds 1 -seed-base 42 \
+    -assert-cache-hits
+
+echo "== phase 2: open-loop burst past capacity (429 rejections) =="
+# A fresh seed forces a real computation; 500 rps into a 1-worker/2-slot
+# service overflows the queue while that computation runs. 429s are
+# rejections, not errors, so -assert-rejections plus zero errors is the
+# pass condition.
+"$BIN/uninetload" -addr "$ADDR" -endpoint simulate -mode open -rps 500 \
+    -duration 1s -topology expander -n 4096 -m 64 -steps 16 -seeds 1000 -seed-base 90000 \
+    -assert-rejections
+
+echo "load_smoke: OK"
