@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-smoke load-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke report examples cover clean
 
 all: build test
 
@@ -30,6 +30,17 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# Regression gate: measure afresh and diff against the newest committed
+# BENCH_*.json baseline. Exits non-zero when any shared benchmark exceeds the
+# benchjson tolerances (ns/op +25%, B/op +10%, allocs/op +10% by default).
+bench-compare:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
+	echo "comparing against $$base"; \
+	tmp=$$(mktemp); \
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > $$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -compare $$base $$tmp; status=$$?; rm -f $$tmp; exit $$status
 
 # CI smoke: every benchmark must still run (one iteration), catching bit-rot
 # in the bench harness without paying for full measurement.

@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -351,10 +352,10 @@ func BenchmarkBaselineBounds(b *testing.B) {
 	}
 	printTable("E17", experiments.E17Table(256, last))
 	for _, r := range last {
-		if r.M == 64 && r.Host[:5] == "torus" {
+		if r.M == 64 && strings.HasPrefix(r.Host, "torus") {
 			b.ReportMetric(r.BisectSEst, "bisectS_torus")
 		}
-		if len(r.Host) > 8 && r.Host[:8] == "expander" {
+		if strings.HasPrefix(r.Host, "expander") {
 			b.ReportMetric(r.BisectSEst, "bisectS_expander")
 		}
 	}

@@ -14,15 +14,27 @@
 //	{
 //	  "BenchmarkE1Suite": {"ns_per_op": 95310417, "bytes_per_op": 4240168, "allocs_per_op": 31456, "iterations": 12}
 //	}
+//
+// Compare mode checks a new baseline against an old one
+// (`make bench-compare`):
+//
+//	benchjson -compare OLD.json NEW.json -tol-ns 25 -tol-allocs 10
+//
+// prints a per-benchmark delta table and exits non-zero when any shared
+// benchmark regresses beyond the percentage tolerances (-tol-ns, -tol-bytes,
+// -tol-allocs). Benchmarks present in only one file are reported but never
+// count as regressions, so baselines can gain and lose benchmarks freely.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -89,7 +101,132 @@ func run(in io.Reader, out io.Writer) error {
 	return enc.Encode(results) // map keys marshal sorted
 }
 
+// loadBaseline reads a benchjson-format JSON baseline file.
+func loadBaseline(path string) (map[string]Measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Measurement
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// deltaPct returns the percentage change from old to new. A zero old value
+// yields 0 when new is also zero and +100 per unit otherwise, so a metric
+// appearing from nothing is visible without dividing by zero.
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100 * new
+	}
+	return 100 * (new - old) / old
+}
+
+// tolerances holds the allowed percentage growth per metric before a
+// benchmark counts as regressed.
+type tolerances struct {
+	ns, bytes, allocs float64
+}
+
+// compare renders the delta table of new versus old and returns the number
+// of shared benchmarks regressing beyond tolerance in any metric.
+func compare(oldM, newM map[string]Measurement, tol tolerances, w io.Writer) int {
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		if _, ok := newM[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	fmt.Fprintf(w, "%-40s %12s %12s %12s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs Δ")
+	for _, name := range names {
+		o, n := oldM[name], newM[name]
+		dNs := deltaPct(o.NsPerOp, n.NsPerOp)
+		dBytes := deltaPct(float64(o.BytesPerOp), float64(n.BytesPerOp))
+		dAllocs := deltaPct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
+		bad := dNs > tol.ns || dBytes > tol.bytes || dAllocs > tol.allocs
+		mark := ""
+		if bad {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-40s %+11.1f%% %+11.1f%% %+11.1f%%%s\n", name, dNs, dBytes, dAllocs, mark)
+	}
+	for name := range oldM {
+		if _, ok := newM[name]; !ok {
+			fmt.Fprintf(w, "%-40s only in old baseline\n", name)
+		}
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			fmt.Fprintf(w, "%-40s only in new baseline\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond tolerance (ns>%g%%, bytes>%g%%, allocs>%g%%)\n",
+			regressed, tol.ns, tol.bytes, tol.allocs)
+	} else {
+		fmt.Fprintf(w, "no regressions beyond tolerance (ns>%g%%, bytes>%g%%, allocs>%g%%) across %d shared benchmark(s)\n",
+			tol.ns, tol.bytes, tol.allocs, len(names))
+	}
+	return regressed
+}
+
+// runCompare loads the two baselines and writes the delta table; the error
+// carries the regression verdict for main's exit code.
+func runCompare(oldPath, newPath string, tol tolerances, w io.Writer) error {
+	oldM, err := loadBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := loadBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	if regressed := compare(oldM, newM, tol, w); regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", regressed)
+	}
+	return nil
+}
+
 func main() {
+	comparePath := flag.String("compare", "", "old baseline JSON; with a new baseline as the positional argument, print deltas and fail on regression")
+	tolNs := flag.Float64("tol-ns", 25, "allowed ns/op growth in percent before a regression is flagged")
+	tolBytes := flag.Float64("tol-bytes", 10, "allowed B/op growth in percent before a regression is flagged")
+	tolAllocs := flag.Float64("tol-allocs", 10, "allowed allocs/op growth in percent before a regression is flagged")
+	// Parse in a loop so flags may follow positionals, as in
+	// `benchjson -compare OLD.json NEW.json -tol-ns 25 -tol-allocs 10`.
+	args := os.Args[1:]
+	var positionals []string
+	for {
+		flag.CommandLine.Parse(args) // ExitOnError: exits on bad flags
+		rest := flag.CommandLine.Args()
+		if len(rest) == 0 {
+			break
+		}
+		positionals = append(positionals, rest[0])
+		args = rest[1:]
+	}
+
+	if *comparePath != "" {
+		if len(positionals) != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare OLD.json needs exactly one NEW.json argument")
+			os.Exit(2)
+		}
+		tol := tolerances{ns: *tolNs, bytes: *tolBytes, allocs: *tolAllocs}
+		if err := runCompare(*comparePath, positionals[0], tol, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -69,5 +70,98 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(strings.NewReader("PASS\nok\n"), &out); err == nil {
 		t.Error("no-benchmark input accepted")
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	cases := []struct{ old, new, want float64 }{
+		{100, 125, 25},
+		{100, 75, -25},
+		{100, 100, 0},
+		{0, 0, 0},
+		{0, 3, 300}, // appears from nothing: visible, no division by zero
+	}
+	for _, c := range cases {
+		if got := deltaPct(c.old, c.new); got != c.want {
+			t.Errorf("deltaPct(%g, %g) = %g, want %g", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldM := map[string]Measurement{
+		"BenchmarkFast":    {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkSlower":  {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkAllocs":  {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkRemoved": {NsPerOp: 5},
+	}
+	newM := map[string]Measurement{
+		"BenchmarkFast":   {NsPerOp: 500, BytesPerOp: 900, AllocsPerOp: 90},   // improved
+		"BenchmarkSlower": {NsPerOp: 1300, BytesPerOp: 1000, AllocsPerOp: 99}, // +30% ns
+		"BenchmarkAllocs": {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 120},
+		"BenchmarkAdded":  {NsPerOp: 7},
+	}
+	tol := tolerances{ns: 25, bytes: 10, allocs: 10}
+
+	var out bytes.Buffer
+	if got := compare(oldM, newM, tol, &out); got != 2 {
+		t.Errorf("compare counted %d regressions, want 2 (Slower ns, Allocs allocs)\n%s", got, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkSlower", "REGRESSED",
+		"BenchmarkRemoved", "only in old baseline",
+		"BenchmarkAdded", "only in new baseline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "BenchmarkFast                            REGRESSED") {
+		t.Errorf("improvement flagged as regression:\n%s", text)
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	oldM := map[string]Measurement{"BenchmarkX": {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100}}
+	newM := map[string]Measurement{"BenchmarkX": {NsPerOp: 1200, BytesPerOp: 1050, AllocsPerOp: 105}}
+	var out bytes.Buffer
+	if got := compare(oldM, newM, tolerances{ns: 25, bytes: 10, allocs: 10}, &out); got != 0 {
+		t.Errorf("within-tolerance drift flagged: %d regressions\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions beyond tolerance") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	writeBaseline := func(path string, m map[string]Measurement) {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeBaseline(oldPath, map[string]Measurement{"BenchmarkX": {NsPerOp: 1000}})
+
+	writeBaseline(newPath, map[string]Measurement{"BenchmarkX": {NsPerOp: 1000}})
+	var out bytes.Buffer
+	if err := runCompare(oldPath, newPath, tolerances{ns: 25, bytes: 10, allocs: 10}, &out); err != nil {
+		t.Errorf("identical baselines: %v", err)
+	}
+
+	writeBaseline(newPath, map[string]Measurement{"BenchmarkX": {NsPerOp: 2000}})
+	out.Reset()
+	if err := runCompare(oldPath, newPath, tolerances{ns: 25, bytes: 10, allocs: 10}, &out); err == nil {
+		t.Error("2x ns/op regression not reported as error")
+	}
+
+	if err := runCompare(dir+"/missing.json", newPath, tolerances{}, &out); err == nil {
+		t.Error("missing old baseline accepted")
 	}
 }

@@ -78,6 +78,25 @@ type Tree struct {
 // Size returns the number of nodes (root included).
 func (tr *Tree) Size() int { return len(tr.Parent) + 1 }
 
+// Translate returns a copy of tr shifted dt time steps. The construction of
+// BuildDependencyTree depends only on time offsets from the root, so
+// Translate(BuildDependencyTree(g0, v, t), dt) equals
+// BuildDependencyTree(g0, v, t+dt) — a cheap way to reuse one build across
+// root times (verified by TestTranslateMatchesDirectBuild).
+func (tr *Tree) Translate(dt int) *Tree {
+	out := &Tree{
+		Root:   Node{P: tr.Root.P, T: tr.Root.T + dt},
+		Parent: make(map[Node]Node, len(tr.Parent)),
+	}
+	for c, p := range tr.Parent {
+		out.Parent[Node{P: c.P, T: c.T + dt}] = Node{P: p.P, T: p.T + dt}
+	}
+	return out
+}
+
+// Translate is the free-function form of Tree.Translate.
+func Translate(tr *Tree, dt int) *Tree { return tr.Translate(dt) }
+
 // Nodes returns all tree nodes in deterministic (time, processor) order.
 func (tr *Tree) Nodes() []Node {
 	out := make([]Node, 0, tr.Size())

@@ -322,3 +322,42 @@ func TestTreeValidInFullGuestGamma(t *testing.T) {
 		t.Fatalf("tree invalid in the full guest's Γ: %v", err)
 	}
 }
+
+// TestTranslateMatchesDirectBuild is the contract the LemmaWeights canonical
+// tree cache relies on: BuildDependencyTree's shape depends only on time
+// offsets from the root, so translating one build must equal building
+// directly at the shifted root time.
+func TestTranslateMatchesDirectBuild(t *testing.T) {
+	g0 := buildTestG0(t, 144, 4)
+	depth := TreeDepth(g0.BlockSide)
+	for _, v := range []int{g0.Blocks[0].Vertices[0], g0.Blocks[0].Vertices[5], g0.Blocks[2].Vertices[3]} {
+		base, err := BuildDependencyTree(g0, v, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dt := range []int{1, 2, 7} {
+			direct, err := BuildDependencyTree(g0, v, depth+dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shifted := Translate(base, dt)
+			if shifted.Root != direct.Root {
+				t.Fatalf("v=%d dt=%d: root %v, want %v", v, dt, shifted.Root, direct.Root)
+			}
+			if len(shifted.Parent) != len(direct.Parent) {
+				t.Fatalf("v=%d dt=%d: %d nodes, want %d", v, dt, len(shifted.Parent), len(direct.Parent))
+			}
+			for c, p := range direct.Parent {
+				if sp, ok := shifted.Parent[c]; !ok || sp != p {
+					t.Fatalf("v=%d dt=%d: node %v parent %v, want %v (present=%v)", v, dt, c, sp, p, ok)
+				}
+			}
+			// Translating back must return to the original, confirming the
+			// shift is lossless in both directions.
+			back := shifted.Translate(-dt)
+			if back.Root != base.Root || len(back.Parent) != len(base.Parent) {
+				t.Fatalf("v=%d dt=%d: round-trip mismatch", v, dt)
+			}
+		}
+	}
+}

@@ -190,7 +190,7 @@ func E4CriticalTimes(n, blockSide, hostDim, c, T int, seed int64) (*E4Result, er
 		sumQ, sumW := 0, 0
 		for _, r := range roots {
 			sumQ += st.Weight(r, t0-D)
-			tree, err := depgraph.BuildDependencyTree(g0, r, t0)
+			tree, err := st.TreeFor(g0, r, t0, lw)
 			if err != nil {
 				return nil, err
 			}

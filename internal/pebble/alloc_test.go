@@ -1,0 +1,73 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/topology"
+)
+
+// Allocation budgets for the dense pebble engine. These are regression
+// tripwires, not targets: measured values are 0 (warm ApplyStep — the
+// per-State scratch absorbs everything once buffers have grown) and ~32
+// (full Validate of a small protocol, dominated by NewState's tables). The
+// ceilings leave headroom for runtime jitter; a real regression — a map or
+// per-step slice creeping back into ApplyStep — blows well past them.
+const (
+	warmApplyStepAllocBudget = 2
+	smallValidateAllocBudget = 48
+)
+
+func allocFixture(t *testing.T) (*Protocol, *State) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	guest, err := topology.RandomGuest(rng, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Torus(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildEmbeddingProtocol(guest, host, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(guest, host, 3)
+	for _, ops := range pr.Steps {
+		if err := st.ApplyStep(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pr, st
+}
+
+func TestApplyStepWarmAllocations(t *testing.T) {
+	pr, st := allocFixture(t)
+	// Re-applying already-applied steps is legal (regenerating a held
+	// pebble passes checkGenerate; every gain is a no-op), so it exercises
+	// the full validation path with the scratch already grown.
+	avg := testing.AllocsPerRun(200, func() {
+		for _, ops := range pr.Steps {
+			if err := st.ApplyStep(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	perStep := avg / float64(len(pr.Steps))
+	if perStep > warmApplyStepAllocBudget {
+		t.Errorf("warm ApplyStep allocates %.2f/step (budget %d): scratch reuse regressed", perStep, warmApplyStepAllocBudget)
+	}
+}
+
+func TestValidateSmallProtocolAllocations(t *testing.T) {
+	pr, _ := allocFixture(t)
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := pr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > smallValidateAllocBudget {
+		t.Errorf("Validate of a small protocol allocates %.1f (budget %d)", avg, smallValidateAllocBudget)
+	}
+}

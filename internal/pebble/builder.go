@@ -54,20 +54,26 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 	}
 
 	// Distribution tasks per guest step: pebble (P_i, t) from f(i) to the
-	// distinct hosts of i's neighbors.
+	// distinct hosts of i's neighbors. The task list is identical for every t
+	// up to the pebble's time coordinate, so routes are planned once into a
+	// reusable buffer; `seen` is a stamped slice rather than a per-guest map.
 	type task struct {
 		pb  Type
 		at  int
 		dst int
 	}
+	var tasks []task
+	seenStamp := make([]int32, m)
+	seenEpoch := int32(0)
 	buildTasks := func(t int) []task {
-		var tasks []task
+		tasks = tasks[:0]
 		for i := 0; i < n; i++ {
-			seen := map[int]bool{f[i]: true}
+			seenEpoch++
+			seenStamp[f[i]] = seenEpoch
 			for _, j := range guest.Neighbors(i) {
 				h := f[j]
-				if !seen[h] {
-					seen[h] = true
+				if seenStamp[h] != seenEpoch {
+					seenStamp[h] = seenEpoch
 					tasks = append(tasks, task{pb: Type{P: i, T: t}, at: f[i], dst: h})
 				}
 			}
@@ -76,9 +82,9 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 	}
 
 	// Next-hop via cached BFS distance-to-destination.
-	distCache := make(map[int][]int)
+	distCache := make([][]int, m)
 	distTo := func(dst int) []int {
-		if d, ok := distCache[dst]; ok {
+		if d := distCache[dst]; d != nil {
 			return d
 		}
 		d := host.BFS(dst)
@@ -95,17 +101,27 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		return -1
 	}
 
+	// Ops are assembled in a reusable scratch and copied into an exact-size
+	// slice per step, so steps carry no append-growth slack.
+	var opsBuf []Op
 	pr := &Protocol{Guest: guest, Host: host, T: T}
+	emit := func() {
+		step := make([]Op, len(opsBuf))
+		copy(step, opsBuf)
+		pr.Steps = append(pr.Steps, step)
+	}
+	busyStamp := make([]int32, m)
+	busyEpoch := int32(0)
 	for t := 1; t <= T; t++ {
 		// Generation phase: maxLoad host steps.
 		for r := 0; r < maxLoad; r++ {
-			var ops []Op
+			opsBuf = opsBuf[:0]
 			for q := 0; q < m; q++ {
 				if r < len(guestsOf[q]) {
-					ops = append(ops, Op{Kind: Generate, Proc: q, Pebble: Type{P: guestsOf[q][r], T: t}})
+					opsBuf = append(opsBuf, Op{Kind: Generate, Proc: q, Pebble: Type{P: guestsOf[q][r], T: t}})
 				}
 			}
-			pr.Steps = append(pr.Steps, ops)
+			emit()
 		}
 		if t == T {
 			break // final pebbles need not be distributed
@@ -118,36 +134,36 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 			if guard > 16*(m+n)*(maxLoad+1) {
 				return nil, fmt.Errorf("pebble: distribution stalled at guest step %d", t)
 			}
-			busy := make(map[int]bool)
-			var ops []Op
+			busyEpoch++
+			opsBuf = opsBuf[:0]
 			for ti := range tasks {
 				tk := &tasks[ti]
 				if tk.at == tk.dst {
 					continue
 				}
-				if busy[tk.at] {
+				if busyStamp[tk.at] == busyEpoch {
 					continue
 				}
 				v := nextHop(tk.at, tk.dst)
 				if v < 0 {
 					return nil, fmt.Errorf("pebble: no route from %d to %d", tk.at, tk.dst)
 				}
-				if busy[v] {
+				if busyStamp[v] == busyEpoch {
 					continue
 				}
-				busy[tk.at] = true
-				busy[v] = true
-				ops = append(ops, Op{Kind: Send, Proc: tk.at, Pebble: tk.pb, Peer: v})
-				ops = append(ops, Op{Kind: Receive, Proc: v, Pebble: tk.pb, Peer: tk.at})
+				busyStamp[tk.at] = busyEpoch
+				busyStamp[v] = busyEpoch
+				opsBuf = append(opsBuf, Op{Kind: Send, Proc: tk.at, Pebble: tk.pb, Peer: v})
+				opsBuf = append(opsBuf, Op{Kind: Receive, Proc: v, Pebble: tk.pb, Peer: tk.at})
 				tk.at = v
 				if tk.at == tk.dst {
 					remaining--
 				}
 			}
-			if len(ops) == 0 {
+			if len(opsBuf) == 0 {
 				return nil, fmt.Errorf("pebble: no progress in distribution at guest step %d", t)
 			}
-			pr.Steps = append(pr.Steps, ops)
+			emit()
 		}
 	}
 	return pr, nil
@@ -214,7 +230,7 @@ func (st *State) PickLightest(t0 int) func(i int, gens []int) int {
 	return func(_ int, gens []int) int {
 		best, bestLoad := 0, -1
 		for k, q := range gens {
-			load := len(st.GuestsOnProcessor(q, t0))
+			load := st.guestsOnCount(q, t0)
 			if bestLoad < 0 || load < bestLoad {
 				best, bestLoad = k, load
 			}

@@ -106,10 +106,11 @@ func (f *Fragment) SmallDCount(bound float64) int {
 }
 
 // TreeWeight returns w_{i,t} of Definition 3.11: the sum of pebble weights
-// q_{i',t'} over the nodes of a dependency tree.
+// q_{i',t'} over the nodes of a dependency tree. The sum is order-free, so
+// it walks the parent map directly instead of materializing Nodes().
 func (st *State) TreeWeight(tree *depgraph.Tree) int {
-	sum := 0
-	for _, nd := range tree.Nodes() {
+	sum := st.Weight(tree.Root.P, tree.Root.T)
+	for nd := range tree.Parent {
 		sum += st.Weight(nd.P, nd.T)
 	}
 	return sum
@@ -124,6 +125,10 @@ type LemmaWeights struct {
 	TotalQ    int   // Σ_t Σ_i q_{i,t} over t = 1..T
 	TotalW    int   // Σ_{t≥D} SumW[t]
 	TreeCache map[depgraph.Node]*depgraph.Tree
+	// canonical[i] is one tree per root vertex: the construction is
+	// translation-invariant in time (see depgraph.Translate), so trees for
+	// other root times are shifted copies instead of fresh builds.
+	canonical map[int]*depgraph.Tree
 }
 
 // ComputeLemmaWeights evaluates the weight aggregates of Lemma 3.12 for a
@@ -161,14 +166,31 @@ func (st *State) ComputeLemmaWeights(g0 *topology.G0) (*LemmaWeights, error) {
 	return lw, nil
 }
 
+// TreeFor returns the dependency tree rooted at (i, t−D) through the
+// LemmaWeights cache, so repeated callers (ComputeLemmaWeights, ChooseRoots,
+// the E4 verification loop) share one build per root.
+func (st *State) TreeFor(g0 *topology.G0, i, t int, lw *LemmaWeights) (*depgraph.Tree, error) {
+	return st.treeFor(g0, i, t, lw)
+}
+
 func (st *State) treeFor(g0 *topology.G0, i, t int, lw *LemmaWeights) (*depgraph.Tree, error) {
 	root := depgraph.Node{P: i, T: t - lw.D}
 	if tr, ok := lw.TreeCache[root]; ok {
 		return tr, nil
 	}
-	tr, err := depgraph.BuildDependencyTree(g0, i, t)
-	if err != nil {
-		return nil, err
+	var tr *depgraph.Tree
+	if base, ok := lw.canonical[i]; ok {
+		tr = depgraph.Translate(base, root.T-base.Root.T)
+	} else {
+		built, err := depgraph.BuildDependencyTree(g0, i, t)
+		if err != nil {
+			return nil, err
+		}
+		if lw.canonical == nil {
+			lw.canonical = make(map[int]*depgraph.Tree)
+		}
+		lw.canonical[i] = built
+		tr = built
 	}
 	if s := tr.Size(); s > lw.TreeSize {
 		lw.TreeSize = s

@@ -1,0 +1,222 @@
+package pebble
+
+// oracleState is a test-only reimplementation of State on the original
+// map-based storage (one pebble-set map per processor, holder/generator maps
+// keyed by Type). It exists purely as an independently-derived oracle for the
+// dense bitset State: the equivalence property test replays the same
+// protocols through both and demands identical answers from every query.
+// Keep this straightforward and obviously-correct rather than fast.
+
+import (
+	"fmt"
+	"sort"
+
+	"universalnet/internal/graph"
+)
+
+type oracleState struct {
+	guest *graph.Graph
+	host  *graph.Graph
+	T     int
+
+	contains   []map[Type]bool
+	holders    map[Type][]int
+	generators map[Type][]int
+	firstHeld  []map[Type]int
+	step       int
+}
+
+func newOracleState(guest, host *graph.Graph, T int) *oracleState {
+	st := &oracleState{
+		guest:      guest,
+		host:       host,
+		T:          T,
+		contains:   make([]map[Type]bool, host.N()),
+		holders:    make(map[Type][]int),
+		generators: make(map[Type][]int),
+		firstHeld:  make([]map[Type]int, host.N()),
+	}
+	for q := 0; q < host.N(); q++ {
+		st.contains[q] = make(map[Type]bool)
+		st.firstHeld[q] = make(map[Type]int)
+	}
+	for i := 0; i < guest.N(); i++ {
+		ty := Type{P: i, T: 0}
+		for q := 0; q < host.N(); q++ {
+			st.contains[q][ty] = true
+			st.firstHeld[q][ty] = 0
+		}
+		all := make([]int, host.N())
+		for q := range all {
+			all[q] = q
+		}
+		st.holders[ty] = all
+	}
+	return st
+}
+
+func (st *oracleState) Contains(q int, ty Type) bool { return st.contains[q][ty] }
+
+func (st *oracleState) ApplyStep(ops []Op) error {
+	st.step++
+	busy := make(map[int]bool)
+	type edgeKey struct {
+		from, to int
+		pb       Type
+	}
+	sends := make(map[edgeKey]int)
+	var receives []Op
+	var gains []struct {
+		q  int
+		pb Type
+	}
+
+	for _, op := range ops {
+		if op.Proc < 0 || op.Proc >= st.host.N() {
+			return fmt.Errorf("processor %d out of range", op.Proc)
+		}
+		if busy[op.Proc] {
+			return fmt.Errorf("processor %d performs two operations", op.Proc)
+		}
+		busy[op.Proc] = true
+		switch op.Kind {
+		case Generate:
+			if err := st.checkGenerate(op.Proc, op.Pebble); err != nil {
+				return err
+			}
+			gains = append(gains, struct {
+				q  int
+				pb Type
+			}{op.Proc, op.Pebble})
+			st.generators[op.Pebble] = oracleAppendUnique(st.generators[op.Pebble], op.Proc)
+		case Send:
+			if !st.host.HasEdge(op.Proc, op.Peer) {
+				return fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer)
+			}
+			if !st.contains[op.Proc][op.Pebble] {
+				return fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble)
+			}
+			sends[edgeKey{op.Proc, op.Peer, op.Pebble}]++
+		case Receive:
+			receives = append(receives, op)
+		default:
+			return fmt.Errorf("unknown op kind %v", op.Kind)
+		}
+	}
+	for _, op := range receives {
+		k := edgeKey{op.Peer, op.Proc, op.Pebble}
+		if sends[k] == 0 {
+			return fmt.Errorf("processor %d receives %v from %d without a matching send", op.Proc, op.Pebble, op.Peer)
+		}
+		sends[k]--
+		gains = append(gains, struct {
+			q  int
+			pb Type
+		}{op.Proc, op.Pebble})
+	}
+	for k, c := range sends {
+		if c > 0 {
+			return fmt.Errorf("send of %v from %d to %d has no matching receive", k.pb, k.from, k.to)
+		}
+	}
+	for _, g := range gains {
+		if !st.contains[g.q][g.pb] {
+			st.contains[g.q][g.pb] = true
+			st.holders[g.pb] = append(st.holders[g.pb], g.q)
+			st.firstHeld[g.q][g.pb] = st.step
+		}
+	}
+	return nil
+}
+
+func (st *oracleState) checkGenerate(q int, ty Type) error {
+	if ty.T < 1 || ty.T > st.T {
+		return fmt.Errorf("generate %v outside guest horizon [1,%d]", ty, st.T)
+	}
+	if ty.P < 0 || ty.P >= st.guest.N() {
+		return fmt.Errorf("generate %v: no such guest processor", ty)
+	}
+	need := Type{P: ty.P, T: ty.T - 1}
+	if !st.contains[q][need] {
+		return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+	}
+	for _, j := range st.guest.Neighbors(ty.P) {
+		need := Type{P: j, T: ty.T - 1}
+		if !st.contains[q][need] {
+			return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+		}
+	}
+	return nil
+}
+
+func oracleAppendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func (st *oracleState) Representatives(i, t int) []int {
+	h := append([]int(nil), st.holders[Type{P: i, T: t}]...)
+	sort.Ints(h)
+	return h
+}
+
+func (st *oracleState) Generators(i, t int) []int {
+	g := append([]int(nil), st.generators[Type{P: i, T: t + 1}]...)
+	sort.Ints(g)
+	return g
+}
+
+func (st *oracleState) Weight(i, t int) int { return len(st.holders[Type{P: i, T: t}]) }
+
+func (st *oracleState) TotalWeight(t int) int {
+	sum := 0
+	for i := 0; i < st.guest.N(); i++ {
+		sum += st.Weight(i, t)
+	}
+	return sum
+}
+
+func (st *oracleState) PebbleCount() int {
+	sum := 0
+	for _, h := range st.holders {
+		sum += len(h)
+	}
+	return sum
+}
+
+func (st *oracleState) GuestsOnProcessor(j, t int) []int {
+	var out []int
+	for i := 0; i < st.guest.N(); i++ {
+		if st.contains[j][Type{P: i, T: t}] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (st *oracleState) FrontierSize(t, τ int) int {
+	count := 0
+	for i := 0; i < st.guest.N(); i++ {
+		ty := Type{P: i, T: t}
+		for _, q := range st.generators[Type{P: i, T: t + 1}] {
+			if first, ok := st.firstHeld[q][ty]; ok && first <= τ {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func (st *oracleState) FrontierThresholdStep(t, target, maxStep int) int {
+	for τ := 0; τ <= maxStep; τ++ {
+		if st.FrontierSize(t, τ) >= target {
+			return τ
+		}
+	}
+	return -1
+}

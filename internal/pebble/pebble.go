@@ -125,7 +125,7 @@ func (pr *Protocol) Validate() (*State, error) {
 		}
 	}
 	for i := 0; i < pr.Guest.N(); i++ {
-		if len(st.generators[Type{P: i, T: pr.T}]) == 0 {
+		if !st.hasGenerator(Type{P: i, T: pr.T}) {
 			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, pr.T)
 		}
 	}

@@ -48,7 +48,7 @@ func RandomProtocol(guest, host *graph.Graph, T int, rng *rand.Rand, maxHostStep
 	}
 	finalDone := func() bool {
 		for i := 0; i < n; i++ {
-			if len(st.generators[Type{P: i, T: T}]) == 0 {
+			if !st.hasGenerator(Type{P: i, T: T}) {
 				return false
 			}
 		}

@@ -2,6 +2,7 @@ package pebble
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"universalnet/internal/graph"
@@ -10,141 +11,248 @@ import (
 // State tracks a pebble-game execution: which processors contain which
 // pebbles, who generated what, and when each generator first obtained each
 // pebble (for the frontier analysis of Definition 3.16).
+//
+// Storage is dense and ID-indexed: over the known horizon [0, T], pebble
+// (P_i, t) maps to the integer id = t·n + i, so possession is one bitset per
+// host processor and the per-pebble tables (holders, generators, first-held
+// steps) are flat arrays indexed by id. ApplyStep keeps per-State scratch —
+// a step-stamped busy array and reusable send/receive/gain buffers — so a
+// warm replay performs no allocations beyond the pebble placements
+// themselves. See DESIGN.md §2 ("Pebble state representation").
 type State struct {
 	guest *graph.Graph
 	host  *graph.Graph
 	T     int
 
-	// contains[q] is the set of pebbles held by host processor q.
-	contains []map[Type]bool
-	// holders[ty] is the sorted-on-demand set of processors holding ty.
-	holders map[Type][]int
-	// generators[ty] is the set of processors that executed Generate(ty).
-	generators map[Type][]int
-	// genStep[ty][q] is the host step (1-based) at which q generated ty.
-	genStep map[Type]map[int]int
-	// firstHeld[q][ty] is the host step at which q first obtained ty
-	// (0 for initial pebbles).
-	firstHeld []map[Type]int
+	n, m   int
+	numIDs int // (T+1)·n pebble ids; id(i, t) = t·n + i
+	words  int // bitset words per host processor
+
+	// contains packs m bitsets of numIDs bits: processor q holds pebble id
+	// iff bit id of contains[q·words : (q+1)·words] is set.
+	contains []uint64
+
+	// holders is a per-id singly linked list threaded through holderEntries
+	// (gain order), with holderCount the list length. Initial pebbles (t = 0)
+	// are held by every processor from the start and can never be gained
+	// again; they carry count = m and no list entries.
+	holderHead    []int32
+	holderCount   []int32
+	holderEntries []holderEntry
+
+	// generators is the same linked-list layout for Q'_S: one entry per
+	// (pebble, processor) pair that executed Generate, recording the host
+	// step of the first generation (duplicates keep the first).
+	genHead    []int32
+	genCount   []int32
+	genEntries []genEntry
+
+	// firstHeld[q·numIDs + id] is the host step at which q first obtained
+	// the pebble; meaningful only while the contains bit is set (0 for
+	// initial pebbles).
+	firstHeld []int32
+
 	// step counts applied host steps.
 	step int
+
+	// Scratch reused across ApplyStep calls, so the warm path allocates
+	// nothing: busyStamp[q] == int32(step) marks q as having acted this
+	// step; sendRecs/recvOps/gains are truncated and refilled per step.
+	busyStamp []int32
+	sendRecs  []sendRec
+	recvOps   []Op
+	gains     []gainRec
+
+	// frontierVals[t] caches the sorted jump points of e_t(·) — the minima
+	// over generators of firstHeld — so FrontierSize is a binary search and
+	// FrontierThresholdStep a single lookup. frontierStep[t] records the
+	// host step the cache was built at; any ApplyStep invalidates it.
+	frontierVals [][]int32
+	frontierStep []int
 }
+
+type holderEntry struct{ proc, next int32 }
+
+type genEntry struct{ proc, step, next int32 }
+
+type sendRec struct {
+	from, to int32
+	id       int32
+	count    int32
+}
+
+type gainRec struct{ q, id int32 }
 
 // NewState initializes the start configuration: every host processor holds
 // all initial pebbles (P_i, 0).
 func NewState(guest, host *graph.Graph, T int) *State {
+	n, m := guest.N(), host.N()
+	numIDs := (T + 1) * n
+	words := (numIDs + 63) / 64
 	st := &State{
-		guest:      guest,
-		host:       host,
-		T:          T,
-		contains:   make([]map[Type]bool, host.N()),
-		holders:    make(map[Type][]int),
-		generators: make(map[Type][]int),
-		genStep:    make(map[Type]map[int]int),
-		firstHeld:  make([]map[Type]int, host.N()),
+		guest:       guest,
+		host:        host,
+		T:           T,
+		n:           n,
+		m:           m,
+		numIDs:      numIDs,
+		words:       words,
+		contains:    make([]uint64, m*words),
+		holderHead:  make([]int32, numIDs),
+		holderCount: make([]int32, numIDs),
+		genHead:     make([]int32, numIDs),
+		genCount:    make([]int32, numIDs),
+		firstHeld:   make([]int32, m*numIDs),
+		busyStamp:   make([]int32, m),
 	}
-	for q := 0; q < host.N(); q++ {
-		st.contains[q] = make(map[Type]bool)
-		st.firstHeld[q] = make(map[Type]int)
+	for id := 0; id < numIDs; id++ {
+		st.holderHead[id] = -1
+		st.genHead[id] = -1
 	}
-	for i := 0; i < guest.N(); i++ {
-		ty := Type{P: i, T: 0}
-		for q := 0; q < host.N(); q++ {
-			st.contains[q][ty] = true
-			st.firstHeld[q][ty] = 0
+	// The t = 0 row: ids 0..n−1 set on every processor, count m each.
+	for q := 0; q < m; q++ {
+		row := st.contains[q*words : (q+1)*words]
+		for w := 0; w < n/64; w++ {
+			row[w] = ^uint64(0)
 		}
-		all := make([]int, host.N())
-		for q := range all {
-			all[q] = q
+		if r := uint(n) & 63; r != 0 {
+			row[n/64] |= 1<<r - 1
 		}
-		st.holders[ty] = all
+	}
+	for i := 0; i < n; i++ {
+		st.holderCount[i] = int32(m)
 	}
 	return st
+}
+
+// id maps an in-horizon pebble type to its dense id.
+func (st *State) id(ty Type) int { return ty.T*st.n + ty.P }
+
+// idOf maps ty to its dense id, reporting false when ty lies outside the
+// horizon (no such pebble can ever exist).
+func (st *State) idOf(ty Type) (int, bool) {
+	if ty.P < 0 || ty.P >= st.n || ty.T < 0 || ty.T > st.T {
+		return 0, false
+	}
+	return ty.T*st.n + ty.P, true
+}
+
+func (st *State) bit(q, id int) bool {
+	return st.contains[q*st.words+id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+func (st *State) setBit(q, id int) {
+	st.contains[q*st.words+id>>6] |= 1 << (uint(id) & 63)
 }
 
 // HostStep returns the number of host steps applied so far.
 func (st *State) HostStep() int { return st.step }
 
 // Contains reports whether processor q holds pebble ty.
-func (st *State) Contains(q int, ty Type) bool { return st.contains[q][ty] }
+func (st *State) Contains(q int, ty Type) bool {
+	id, ok := st.idOf(ty)
+	return ok && st.bit(q, id)
+}
+
+// hasGenerator reports whether some processor generated ty.
+func (st *State) hasGenerator(ty Type) bool {
+	id, ok := st.idOf(ty)
+	return ok && st.genCount[id] > 0
+}
+
+// addGenerator records that q executed Generate for id at the current step;
+// a duplicate generation by the same processor keeps the first step.
+func (st *State) addGenerator(id, q int) {
+	for e := st.genHead[id]; e >= 0; e = st.genEntries[e].next {
+		if int(st.genEntries[e].proc) == q {
+			return
+		}
+	}
+	st.genEntries = append(st.genEntries, genEntry{
+		proc: int32(q), step: int32(st.step), next: st.genHead[id],
+	})
+	st.genHead[id] = int32(len(st.genEntries) - 1)
+	st.genCount[id]++
+}
 
 // ApplyStep validates and applies one host step's operations.
 func (st *State) ApplyStep(ops []Op) error {
 	st.step++
-	busy := make(map[int]bool)
-	// Pair sends and receives: a receive must match a send of the same
-	// pebble along the reverse edge in this step.
-	type edgeKey struct {
-		from, to int
-		pb       Type
-	}
-	sends := make(map[edgeKey]int)
-	var receives []Op
-	var gains []struct {
-		q  int
-		pb Type
-	}
+	stamp := int32(st.step)
+	st.sendRecs = st.sendRecs[:0]
+	st.recvOps = st.recvOps[:0]
+	st.gains = st.gains[:0]
 
 	for _, op := range ops {
-		if op.Proc < 0 || op.Proc >= st.host.N() {
+		if op.Proc < 0 || op.Proc >= st.m {
 			return fmt.Errorf("processor %d out of range", op.Proc)
 		}
-		if busy[op.Proc] {
+		if st.busyStamp[op.Proc] == stamp {
 			return fmt.Errorf("processor %d performs two operations", op.Proc)
 		}
-		busy[op.Proc] = true
+		st.busyStamp[op.Proc] = stamp
 		switch op.Kind {
 		case Generate:
 			if err := st.checkGenerate(op.Proc, op.Pebble); err != nil {
 				return err
 			}
-			gains = append(gains, struct {
-				q  int
-				pb Type
-			}{op.Proc, op.Pebble})
-			st.generators[op.Pebble] = appendUnique(st.generators[op.Pebble], op.Proc)
-			if st.genStep[op.Pebble] == nil {
-				st.genStep[op.Pebble] = make(map[int]int)
-			}
-			if _, dup := st.genStep[op.Pebble][op.Proc]; !dup {
-				st.genStep[op.Pebble][op.Proc] = st.step
-			}
+			id := st.id(op.Pebble)
+			st.gains = append(st.gains, gainRec{q: int32(op.Proc), id: int32(id)})
+			st.addGenerator(id, op.Proc)
 		case Send:
 			if !st.host.HasEdge(op.Proc, op.Peer) {
 				return fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer)
 			}
-			if !st.contains[op.Proc][op.Pebble] {
+			id, ok := st.idOf(op.Pebble)
+			if !ok || !st.bit(op.Proc, id) {
 				return fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble)
 			}
-			sends[edgeKey{op.Proc, op.Peer, op.Pebble}]++
+			st.sendRecs = append(st.sendRecs, sendRec{
+				from: int32(op.Proc), to: int32(op.Peer), id: int32(id), count: 1,
+			})
 		case Receive:
-			receives = append(receives, op)
+			st.recvOps = append(st.recvOps, op)
 		default:
 			return fmt.Errorf("unknown op kind %v", op.Kind)
 		}
 	}
-	for _, op := range receives {
-		k := edgeKey{op.Peer, op.Proc, op.Pebble}
-		if sends[k] == 0 {
+	// Pair sends and receives: a receive must match a send of the same
+	// pebble along the reverse edge in this step. Steps are small (at most
+	// one op per processor), so a linear scan beats any map.
+	for _, op := range st.recvOps {
+		matched := false
+		if id, ok := st.idOf(op.Pebble); ok {
+			for ri := range st.sendRecs {
+				r := &st.sendRecs[ri]
+				if r.count > 0 && int(r.from) == op.Peer && int(r.to) == op.Proc && int(r.id) == id {
+					r.count--
+					matched = true
+					break
+				}
+			}
+			if matched {
+				st.gains = append(st.gains, gainRec{q: int32(op.Proc), id: int32(id)})
+			}
+		}
+		if !matched {
 			return fmt.Errorf("processor %d receives %v from %d without a matching send", op.Proc, op.Pebble, op.Peer)
 		}
-		sends[k]--
-		gains = append(gains, struct {
-			q  int
-			pb Type
-		}{op.Proc, op.Pebble})
 	}
-	for k, c := range sends {
-		if c > 0 {
-			return fmt.Errorf("send of %v from %d to %d has no matching receive", k.pb, k.from, k.to)
+	for _, r := range st.sendRecs {
+		if r.count > 0 {
+			pb := Type{P: int(r.id) % st.n, T: int(r.id) / st.n}
+			return fmt.Errorf("send of %v from %d to %d has no matching receive", pb, r.from, r.to)
 		}
 	}
 	// Apply gains after all checks (synchronous step semantics).
-	for _, g := range gains {
-		if !st.contains[g.q][g.pb] {
-			st.contains[g.q][g.pb] = true
-			st.holders[g.pb] = append(st.holders[g.pb], g.q)
-			st.firstHeld[g.q][g.pb] = st.step
+	for _, g := range st.gains {
+		q, id := int(g.q), int(g.id)
+		if !st.bit(q, id) {
+			st.setBit(q, id)
+			st.holderEntries = append(st.holderEntries, holderEntry{proc: g.q, next: st.holderHead[id]})
+			st.holderHead[id] = int32(len(st.holderEntries) - 1)
+			st.holderCount[id]++
+			st.firstHeld[q*st.numIDs+id] = int32(st.step)
 		}
 	}
 	return nil
@@ -154,55 +262,75 @@ func (st *State) checkGenerate(q int, ty Type) error {
 	if ty.T < 1 || ty.T > st.T {
 		return fmt.Errorf("generate %v outside guest horizon [1,%d]", ty, st.T)
 	}
-	if ty.P < 0 || ty.P >= st.guest.N() {
+	if ty.P < 0 || ty.P >= st.n {
 		return fmt.Errorf("generate %v: no such guest processor", ty)
 	}
-	need := Type{P: ty.P, T: ty.T - 1}
-	if !st.contains[q][need] {
-		return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+	base := (ty.T - 1) * st.n
+	if !st.bit(q, base+ty.P) {
+		return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, Type{P: ty.P, T: ty.T - 1})
 	}
 	for _, j := range st.guest.Neighbors(ty.P) {
-		need := Type{P: j, T: ty.T - 1}
-		if !st.contains[q][need] {
-			return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, need)
+		if !st.bit(q, base+j) {
+			return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, Type{P: j, T: ty.T - 1})
 		}
 	}
 	return nil
 }
 
-func appendUnique(s []int, v int) []int {
-	for _, x := range s {
-		if x == v {
-			return s
-		}
-	}
-	return append(s, v)
-}
-
 // Representatives returns Q_S(i, t): the processors holding pebble (P_i, t)
 // at the current point of the protocol, sorted.
 func (st *State) Representatives(i, t int) []int {
-	h := append([]int(nil), st.holders[Type{P: i, T: t}]...)
-	sort.Ints(h)
-	return h
+	id, ok := st.idOf(Type{P: i, T: t})
+	if !ok || st.holderCount[id] == 0 {
+		return nil
+	}
+	if t == 0 {
+		all := make([]int, st.m)
+		for q := range all {
+			all[q] = q
+		}
+		return all
+	}
+	out := make([]int, 0, st.holderCount[id])
+	for e := st.holderHead[id]; e >= 0; e = st.holderEntries[e].next {
+		out = append(out, int(st.holderEntries[e].proc))
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Generators returns Q'_S(i, t): the processors that generated (P_i, t+1)
 // (necessarily members of Q_S(i, t)), sorted.
 func (st *State) Generators(i, t int) []int {
-	g := append([]int(nil), st.generators[Type{P: i, T: t + 1}]...)
-	sort.Ints(g)
-	return g
+	id, ok := st.idOf(Type{P: i, T: t + 1})
+	if !ok || st.genCount[id] == 0 {
+		return nil
+	}
+	out := make([]int, 0, st.genCount[id])
+	for e := st.genHead[id]; e >= 0; e = st.genEntries[e].next {
+		out = append(out, int(st.genEntries[e].proc))
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Weight returns q_{i,t} = |Q_S(i,t)| (Definition 3.11).
-func (st *State) Weight(i, t int) int { return len(st.holders[Type{P: i, T: t}]) }
+func (st *State) Weight(i, t int) int {
+	id, ok := st.idOf(Type{P: i, T: t})
+	if !ok {
+		return 0
+	}
+	return int(st.holderCount[id])
+}
 
 // TotalWeight returns Σ_i q_{i,t} for one guest time step.
 func (st *State) TotalWeight(t int) int {
+	if t < 0 || t > st.T {
+		return 0
+	}
 	sum := 0
-	for i := 0; i < st.guest.N(); i++ {
-		sum += st.Weight(i, t)
+	for id := t * st.n; id < (t+1)*st.n; id++ {
+		sum += int(st.holderCount[id])
 	}
 	return sum
 }
@@ -211,8 +339,8 @@ func (st *State) TotalWeight(t int) int {
 // bounded by the operation count T'·m in the proof of Lemma 3.12.
 func (st *State) PebbleCount() int {
 	sum := 0
-	for _, h := range st.holders {
-		sum += len(h)
+	for _, c := range st.holderCount {
+		sum += int(c)
 	}
 	return sum
 }
@@ -221,13 +349,78 @@ func (st *State) PebbleCount() int {
 // processors whose time-t pebble processor j holds (used for the D_i sets
 // and the heavy-processor argument of Lemma 3.15).
 func (st *State) GuestsOnProcessor(j, t int) []int {
+	if t < 0 || t > st.T {
+		return nil
+	}
 	var out []int
-	for i := 0; i < st.guest.N(); i++ {
-		if st.contains[j][Type{P: i, T: t}] {
+	base := t * st.n
+	for i := 0; i < st.n; i++ {
+		if st.bit(j, base+i) {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// guestsOnCount is |GuestsOnProcessor(j, t)| without the allocation: a
+// popcount over the time-t span of j's bitset row.
+func (st *State) guestsOnCount(j, t int) int {
+	if t < 0 || t > st.T {
+		return 0
+	}
+	lo, hi := t*st.n, (t+1)*st.n
+	row := st.contains[j*st.words : (j+1)*st.words]
+	count := 0
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := row[w]
+		if w == lo>>6 {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == (hi-1)>>6 {
+			if r := uint(hi) & 63; r != 0 {
+				word &= 1<<r - 1
+			}
+		}
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// frontierFor returns the sorted jump points of e_t(·): for each guest i
+// with a generating pebble of type (P_i, t), the earliest host step at which
+// some eventual generator of (P_i, t+1) first held (P_i, t). Rebuilt lazily
+// after each applied host step, then served from cache.
+func (st *State) frontierFor(t int) []int32 {
+	if st.frontierVals == nil {
+		st.frontierVals = make([][]int32, st.T+1)
+		st.frontierStep = make([]int, st.T+1)
+		for i := range st.frontierStep {
+			st.frontierStep[i] = -1
+		}
+	}
+	if st.frontierStep[t] == st.step {
+		return st.frontierVals[t]
+	}
+	vals := st.frontierVals[t][:0]
+	base := t * st.n
+	for i := 0; i < st.n; i++ {
+		best := int32(-1)
+		for e := st.genHead[base+st.n+i]; e >= 0; e = st.genEntries[e].next {
+			q := int(st.genEntries[e].proc)
+			if st.bit(q, base+i) {
+				if f := st.firstHeld[q*st.numIDs+base+i]; best < 0 || f < best {
+					best = f
+				}
+			}
+		}
+		if best >= 0 {
+			vals = append(vals, best)
+		}
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	st.frontierVals[t] = vals
+	st.frontierStep[t] = st.step
+	return vals
 }
 
 // FrontierSize returns e_t(τ) of Definition 3.16: the number of guest
@@ -235,26 +428,33 @@ func (st *State) GuestsOnProcessor(j, t int) []int {
 // host steps — that is, some processor that (at some point of the protocol)
 // generates (P_i, t+1) already holds (P_i, t) by step τ.
 func (st *State) FrontierSize(t, τ int) int {
-	count := 0
-	for i := 0; i < st.guest.N(); i++ {
-		ty := Type{P: i, T: t}
-		for _, q := range st.generators[Type{P: i, T: t + 1}] {
-			if first, ok := st.firstHeld[q][ty]; ok && first <= τ {
-				count++
-				break
-			}
-		}
+	if t < 0 || t+1 > st.T {
+		return 0
 	}
-	return count
+	vals := st.frontierFor(t)
+	return sort.Search(len(vals), func(k int) bool { return int(vals[k]) > τ })
 }
 
 // FrontierThresholdStep returns τ_j of Lemma 3.15: the earliest host step at
 // which e_t(τ) ≥ target, or -1 if never reached.
 func (st *State) FrontierThresholdStep(t, target, maxStep int) int {
-	for τ := 0; τ <= maxStep; τ++ {
-		if st.FrontierSize(t, τ) >= target {
-			return τ
-		}
+	if maxStep < 0 {
+		return -1
+	}
+	if target <= 0 {
+		return 0
+	}
+	if t < 0 || t+1 > st.T {
+		return -1
+	}
+	vals := st.frontierFor(t)
+	if len(vals) < target {
+		return -1
+	}
+	// e_t only grows at the cached jump points, so the earliest step with
+	// e_t(τ) ≥ target is the target-th smallest first-held minimum.
+	if τ := int(vals[target-1]); τ <= maxStep {
+		return τ
 	}
 	return -1
 }

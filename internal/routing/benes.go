@@ -62,20 +62,45 @@ func BenesPaths(d int, perm []int) ([][]int, error) {
 	}
 	levels := BenesLevels(d)
 	paths := make([][]int, rows)
+	buf := make([]int, rows*levels)
 	for i := range paths {
-		paths[i] = make([]int, levels)
+		paths[i] = buf[i*levels : (i+1)*levels : (i+1)*levels]
 		paths[i][0] = i
 	}
-	ids := make([]int, rows)
-	cur := make([]int, rows)
-	dst := make([]int, rows)
+	sc := &benesScratch{
+		inMate:   make([]int32, rows),
+		outMate:  make([]int32, rows),
+		inStamp:  make([]int32, rows),
+		outStamp: make([]int32, rows),
+		sub:      make([]int8, rows),
+		arena:    make([]int, 3*rows*d),
+		rows:     rows,
+	}
+	ids := sc.arena[0:rows]
+	cur := sc.arena[rows : 2*rows]
+	dst := sc.arena[2*rows : 3*rows]
 	for i := 0; i < rows; i++ {
 		ids[i] = i
 		cur[i] = i
 		dst[i] = perm[i]
 	}
-	benesFill(paths, ids, cur, dst, 0, levels-1, 0, d)
+	benesFill(paths, ids, cur, dst, 0, levels-1, 0, d, sc, 0)
 	return paths, nil
+}
+
+// benesScratch holds the reusable working storage of one BenesPaths call.
+// The mate tables are row-indexed and epoch-stamped (one epoch per recursion
+// node) so no per-node maps are needed; the arena provides, per recursion
+// depth, the ids/cur/dst triples of that depth's subproblems, carved at the
+// subproblem's row offset — subproblems at one depth occupy disjoint row
+// ranges, so they never collide.
+type benesScratch struct {
+	inMate, outMate   []int32 // row → packet index, valid when stamp == epoch
+	inStamp, outStamp []int32
+	epoch             int32
+	sub               []int8 // packet slot → subnetwork (0/1), −1 unassigned
+	arena             []int  // 3·rows ints per depth: ids | cur | dst
+	rows              int
 }
 
 func checkPermutation(perm []int) error {
@@ -95,7 +120,7 @@ func checkPermutation(perm []int) error {
 // benesFill routes the packets `ids` (currently at rows cur, destined for
 // rows dst; all rows agree on bits < b) through graph levels [lo, hi],
 // switching bits b..d−1 and back. It writes paths[p][l] for l in (lo, hi].
-func benesFill(paths [][]int, ids, cur, dst []int, lo, hi, b, d int) {
+func benesFill(paths [][]int, ids, cur, dst []int, lo, hi, b, d int, sc *benesScratch, off int) {
 	k := d - b // bits remaining
 	if k == 1 {
 		// Single stage: flip (or keep) bit b to reach the destination row.
@@ -108,53 +133,63 @@ func benesFill(paths [][]int, ids, cur, dst []int, lo, hi, b, d int) {
 	// subnetwork so that input switch-mates and output switch-mates split.
 	m := len(ids)
 	bit := 1 << b
-	inMate := make(map[int]int, m)  // cur row → packet index
-	outMate := make(map[int]int, m) // dst row → packet index
+	sc.epoch++
+	ep := sc.epoch
 	for idx := range ids {
-		inMate[cur[idx]] = idx
-		outMate[dst[idx]] = idx
+		sc.inMate[cur[idx]] = int32(idx)
+		sc.inStamp[cur[idx]] = ep
+		sc.outMate[dst[idx]] = int32(idx)
+		sc.outStamp[dst[idx]] = ep
 	}
-	sub := make([]int, m)
-	assigned := make([]bool, m)
+	sub := sc.sub[:m]
+	for i := range sub {
+		sub[i] = -1
+	}
 	for start := 0; start < m; start++ {
-		if assigned[start] {
+		if sub[start] >= 0 {
 			continue
 		}
 		// Walk the constraint cycle: input-mate forces the complement,
 		// output-mate forces the complement.
-		idx, val := start, 0
+		idx, val := start, int8(0)
 		for {
-			if assigned[idx] {
+			if sub[idx] >= 0 {
 				break
 			}
 			sub[idx] = val
-			assigned[idx] = true
 			// Input mate of idx must take 1−val.
-			jm, ok := inMate[cur[idx]^bit]
-			if !ok {
+			if sc.inStamp[cur[idx]^bit] != ep {
 				panic("routing: missing input mate in Beneš recursion")
 			}
-			if assigned[jm] {
+			jm := int(sc.inMate[cur[idx]^bit])
+			if sub[jm] >= 0 {
 				break
 			}
 			sub[jm] = 1 - val
-			assigned[jm] = true
 			// Output mate of jm must take val again.
-			km, ok := outMate[dst[jm]^bit]
-			if !ok {
+			if sc.outStamp[dst[jm]^bit] != ep {
 				panic("routing: missing output mate in Beneš recursion")
 			}
+			km := int(sc.outMate[dst[jm]^bit])
 			idx, val = km, 1-sub[jm]
 		}
 	}
 	// First stage: move to the assigned subnetwork row. Last stage: from the
-	// mirrored row to the destination.
-	upIDs, loIDs := []int{}, []int{}
-	upCur, loCur := []int{}, []int{}
-	upDst, loDst := []int{}, []int{}
+	// mirrored row to the destination. Subproblem triples are carved from the
+	// per-depth arena at this subproblem's row offset.
+	half := m / 2
+	ai := (b + 1) * 3 * sc.rows
+	ac := ai + sc.rows
+	ad := ai + 2*sc.rows
+	upIDs := sc.arena[ai+off : ai+off : ai+off+half]
+	loIDs := sc.arena[ai+off+half : ai+off+half : ai+off+m]
+	upCur := sc.arena[ac+off : ac+off : ac+off+half]
+	loCur := sc.arena[ac+off+half : ac+off+half : ac+off+m]
+	upDst := sc.arena[ad+off : ad+off : ad+off+half]
+	loDst := sc.arena[ad+off+half : ad+off+half : ad+off+m]
 	for idx, p := range ids {
-		inRow := setBit(cur[idx], bit, sub[idx])
-		outRow := setBit(dst[idx], bit, sub[idx])
+		inRow := setBit(cur[idx], bit, int(sub[idx]))
+		outRow := setBit(dst[idx], bit, int(sub[idx]))
 		paths[p][lo+1] = inRow
 		paths[p][hi] = dst[idx]
 		paths[p][hi-1] = outRow
@@ -169,8 +204,8 @@ func benesFill(paths [][]int, ids, cur, dst []int, lo, hi, b, d int) {
 		}
 	}
 	if hi-1 > lo+1 {
-		benesFill(paths, upIDs, upCur, upDst, lo+1, hi-1, b+1, d)
-		benesFill(paths, loIDs, loCur, loDst, lo+1, hi-1, b+1, d)
+		benesFill(paths, upIDs, upCur, upDst, lo+1, hi-1, b+1, d, sc, off)
+		benesFill(paths, loIDs, loCur, loDst, lo+1, hi-1, b+1, d, sc, off+half)
 	}
 }
 
@@ -190,7 +225,12 @@ func VerifyBenesPaths(d int, perm []int, paths [][]int) error {
 	if len(paths) != rows {
 		return fmt.Errorf("routing: %d paths for %d rows", len(paths), rows)
 	}
-	occupied := make(map[[2]int]int)
+	// Occupancy as a flat (level, row) grid: endpoint and transition checks
+	// above guarantee rows stay in [0, rows), so indexing is safe.
+	occupied := make([]int, levels*rows)
+	for i := range occupied {
+		occupied[i] = -1
+	}
 	for i, path := range paths {
 		if len(path) != levels {
 			return fmt.Errorf("routing: path %d has %d levels, want %d", i, len(path), levels)
@@ -209,11 +249,10 @@ func VerifyBenesPaths(d int, perm []int, paths [][]int) error {
 			}
 		}
 		for l, r := range path {
-			key := [2]int{l, r}
-			if prev, ok := occupied[key]; ok {
+			if prev := occupied[l*rows+r]; prev >= 0 {
 				return fmt.Errorf("routing: packets %d and %d collide at level %d row %d", prev, i, l, r)
 			}
-			occupied[key] = i
+			occupied[l*rows+r] = i
 		}
 	}
 	return nil

@@ -32,7 +32,7 @@ func DecomposeHRelation(n int, pairs []Pair) ([][]Pair, error) {
 		}
 	}
 
-	var edges []relEdge
+	edges := make([]relEdge, 0, len(pairs)+n)
 	for _, p := range pairs {
 		edges = append(edges, relEdge{src: p.Src, dst: p.Dst, real: true})
 	}
@@ -59,35 +59,51 @@ func DecomposeHRelation(n int, pairs []Pair) ([][]Pair, error) {
 		}
 	}
 
-	// Adjacency: src → incident unused edge indices (refreshed per round).
+	// Adjacency: src → incident edge indices, built once in CSR form (edge-
+	// index order per source, so candidate order matches a per-round rebuild);
+	// used edges are skipped at traversal time instead of being filtered out.
+	adjOff := make([]int, n+1)
+	for i := range edges {
+		adjOff[edges[i].src+1]++
+	}
+	for v := 0; v < n; v++ {
+		adjOff[v+1] += adjOff[v]
+	}
+	adjList := make([]int32, len(edges))
+	fill := make([]int, n)
+	copy(fill, adjOff[:n])
+	for i := range edges {
+		s := edges[i].src
+		adjList[fill[s]] = int32(i)
+		fill[s]++
+	}
+
 	var rounds [][]Pair
-	for round := 0; round < h; round++ {
-		adj := make([][]int, n)
-		for i := range edges {
-			if !edges[i].used {
-				adj[edges[i].src] = append(adj[edges[i].src], i)
+	matchDst := make([]int, n) // dst → edge index, or -1
+	visited := make([]bool, n)
+	var try func(s int) bool
+	try = func(s int) bool {
+		for _, ei32 := range adjList[adjOff[s]:adjOff[s+1]] {
+			ei := int(ei32)
+			if edges[ei].used {
+				continue
+			}
+			d := edges[ei].dst
+			if visited[d] {
+				continue
+			}
+			visited[d] = true
+			if matchDst[d] < 0 || try(edges[matchDst[d]].src) {
+				matchDst[d] = ei
+				return true
 			}
 		}
+		return false
+	}
+	for round := 0; round < h; round++ {
 		// Kuhn's augmenting-path perfect matching: match every source.
-		matchDst := make([]int, n) // dst → edge index, or -1
 		for i := range matchDst {
 			matchDst[i] = -1
-		}
-		visited := make([]bool, n)
-		var try func(s int) bool
-		try = func(s int) bool {
-			for _, ei := range adj[s] {
-				d := edges[ei].dst
-				if visited[d] {
-					continue
-				}
-				visited[d] = true
-				if matchDst[d] < 0 || try(edges[matchDst[d]].src) {
-					matchDst[d] = ei
-					return true
-				}
-			}
-			return false
 		}
 		for s := 0; s < n; s++ {
 			for i := range visited {

@@ -56,12 +56,14 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 	}
 	var demands []demand
 	var rowPairs []routing.Pair
+	seenStamp := make([]int32, rows)
 	for i := 0; i < n; i++ {
-		seen := map[int]bool{rowOf(i): true}
+		stamp := int32(i + 1)
+		seenStamp[rowOf(i)] = stamp
 		for _, j := range guest.Neighbors(i) {
 			r := rowOf(j)
-			if !seen[r] {
-				seen[r] = true
+			if seenStamp[r] != stamp {
+				seenStamp[r] = stamp
 				demands = append(demands, demand{guest: i, srcRow: rowOf(i), dstRow: r})
 				rowPairs = append(rowPairs, routing.Pair{Src: rowOf(i), Dst: r})
 			}
@@ -112,11 +114,37 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 	}
 
 	node := func(level, row int) int { return routing.BenesNode(d, level, row) }
+
+	// Per-offset op counts are the same for every guest step, so compute them
+	// once and presize each step slice exactly: generation step r holds one op
+	// per row with load > r; transfer offset 2k+j holds two ops per round-k
+	// move (each move occupies offsets 2k .. 2k+levels−1).
+	genCount := make([]int, maxLoad)
+	for _, gs := range guestsOf {
+		for r := 0; r < len(gs); r++ {
+			genCount[r]++
+		}
+	}
+	transferLen := 0
+	if len(roundMoves) > 0 {
+		transferLen = 2*(len(roundMoves)-1) + levels
+	}
+	transferCount := make([]int, transferLen)
+	for k, moves := range roundMoves {
+		for j := 0; j < levels; j++ {
+			transferCount[2*k+j] += 2 * len(moves)
+		}
+	}
+
 	pr := &pebble.Protocol{Guest: guest, Host: bh.Graph, T: T}
-	appendStep := func(base, offset int, ops ...pebble.Op) {
+	pr.Steps = make([][]pebble.Op, 0, T*maxLoad+(T-1)*transferLen)
+	appendStep := func(base, offset, sizeHint int, ops ...pebble.Op) {
 		idx := base + offset
 		for len(pr.Steps) <= idx {
 			pr.Steps = append(pr.Steps, nil)
+		}
+		if pr.Steps[idx] == nil && sizeHint > 0 {
+			pr.Steps[idx] = make([]pebble.Op, 0, sizeHint)
 		}
 		pr.Steps[idx] = append(pr.Steps[idx], ops...)
 	}
@@ -125,16 +153,14 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 	for t := 1; t <= T; t++ {
 		// Generation phase.
 		for r := 0; r < maxLoad; r++ {
-			var ops []pebble.Op
 			for q := 0; q < rows; q++ {
 				if r < len(guestsOf[q]) {
-					ops = append(ops, pebble.Op{
+					appendStep(base, r, genCount[r], pebble.Op{
 						Kind: pebble.Generate, Proc: node(0, q),
 						Pebble: pebble.Type{P: guestsOf[q][r], T: t},
 					})
 				}
 			}
-			appendStep(base, r, ops...)
 		}
 		base += maxLoad
 		if t == T {
@@ -148,14 +174,14 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 				for j := 0; j+1 < levels; j++ {
 					from := node(j, mv.path[j])
 					to := node(j+1, mv.path[j+1])
-					appendStep(base, 2*k+j,
+					appendStep(base, 2*k+j, transferCount[2*k+j],
 						pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
 						pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
 				}
 				// Wrap hop: last level → level 0 of the destination row.
 				from := node(levels-1, mv.path[levels-1])
 				to := node(0, mv.dstRow)
-				appendStep(base, 2*k+levels-1,
+				appendStep(base, 2*k+levels-1, transferCount[2*k+levels-1],
 					pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
 					pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
 			}
