@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke bigsim-smoke report examples cover clean
+
+# Explicit bench-compare tolerances (percent growth allowed per metric). CI
+# and local runs share these so the gate's verdict is reproducible.
+BENCH_TOL_NS ?= 25
+BENCH_TOL_BYTES ?= 10
+BENCH_TOL_ALLOCS ?= 10
 
 all: build test
 
@@ -33,19 +39,31 @@ bench-json:
 
 # Regression gate: measure afresh and diff against the newest committed
 # BENCH_*.json baseline. Exits non-zero when any shared benchmark exceeds the
-# benchjson tolerances (ns/op +25%, B/op +10%, allocs/op +10% by default).
+# explicit tolerances above (ns/op +$(BENCH_TOL_NS)%, B/op +$(BENCH_TOL_BYTES)%,
+# allocs/op +$(BENCH_TOL_ALLOCS)%). Required in CI.
 bench-compare:
 	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
 	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
 	echo "comparing against $$base"; \
 	tmp=$$(mktemp); \
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > $$tmp || { rm -f $$tmp; exit 1; }; \
-	$(GO) run ./cmd/benchjson -compare $$base $$tmp; status=$$?; rm -f $$tmp; exit $$status
+	$(GO) run ./cmd/benchjson -compare $$base $$tmp \
+		-tol-ns $(BENCH_TOL_NS) -tol-bytes $(BENCH_TOL_BYTES) -tol-allocs $(BENCH_TOL_ALLOCS); \
+	status=$$?; rm -f $$tmp; exit $$status
 
 # CI smoke: every benchmark must still run (one iteration), catching bit-rot
 # in the bench harness without paying for full measurement.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Streaming-scale smoke: one n=10⁵ build+validate through the streaming
+# pipeline under a hard Go heap budget, asserting that peak resident chunk
+# bytes stay within budget + one open chunk (the memory bound that makes
+# n=10⁶ runs fit in laptop RAM). GOMEMLIMIT makes an accidental full
+# materialization fail loudly instead of silently paging.
+bigsim-smoke:
+	GOMEMLIMIT=512MiB $(GO) run ./cmd/uninet bigsim -n 100000 -deg 3 -hostdim 5 -steps 2 \
+		-chunk-kb 256 -budget-kb 4096 -assert-peak-bytes 8388608 -seed 1
 
 # End-to-end service smoke: serve + uninetload, asserting zero errors,
 # cache hits in the warm phase, and at least one 429 under an over-capacity
@@ -53,7 +71,7 @@ bench-smoke:
 load-smoke:
 	sh scripts/load_smoke.sh
 
-# Run the full E1..E23 evaluation suite and print every table + figure.
+# Run the full E1..E24 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.
 report: build
 	$(GO) run ./cmd/uninet report $(REPORT_FLAGS)

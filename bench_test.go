@@ -627,3 +627,34 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkStreamingPipeline runs the streaming data path end to end —
+// queued builder → bounded pipe → sharded validator, with the step stream
+// teed into a chunked archive — at a size where the materialized and
+// streaming paths can still be cross-checked (E24's small-n regime).
+func BenchmarkStreamingPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	guest, err := topology.RandomGuest(rng, 2048, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host, err := topology.WrappedButterfly(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *StreamRunReport
+	for i := 0; i < b.N; i++ {
+		chunks := NewChunkedLog(ChunkedLogOptions{TargetChunkBytes: 64 << 10, MemBudgetBytes: 128 << 10})
+		rep, err := RunStreamingEmbedding(guest, host, nil, 2, StreamRunConfig{Shards: 2, Window: 8, Chunks: chunks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := chunks.Close(); err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.Slowdown, "slowdown")
+	b.ReportMetric(float64(last.PeakChunkBytes), "peak-chunk-bytes")
+}

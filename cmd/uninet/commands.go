@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -359,6 +360,84 @@ func cmdPebble(args []string) error {
 	}
 	fmt.Printf("fragment at t0=%d: Σ|B_i|=%d max|D_i|=%d (valid=%v)\n",
 		t0, frag.SumB(), maxD, frag.Validate() == nil)
+	return nil
+}
+
+// cmdBigsim drives the streaming pipeline at sizes where materializing the
+// protocol is off the table: builder, chunked archive, and sharded validator
+// run concurrently, and the peak resident chunk bytes are reported (and
+// optionally asserted — the bigsim-smoke CI gate uses that to pin the memory
+// bound).
+func cmdBigsim(args []string) error {
+	fs := flag.NewFlagSet("bigsim", flag.ExitOnError)
+	n := fs.Int("n", 100000, "guest size")
+	deg := fs.Int("deg", 3, "guest degree")
+	hostDim := fs.Int("hostdim", 5, "wrapped-butterfly host dimension")
+	steps := fs.Int("steps", 2, "guest steps")
+	shards := fs.Int("shards", 0, "validator shards (0 = GOMAXPROCS)")
+	window := fs.Int("window", 8, "pipe window in host steps")
+	chunkKB := fs.Int("chunk-kb", 1024, "target chunk size in KiB")
+	budgetKB := fs.Int("budget-kb", 8192, "resident chunk budget in KiB (0 = never spill)")
+	seed := fs.Int64("seed", 1, "random seed")
+	save := fs.String("save", "", "write the streamed protocol in binary form to this file")
+	maxPeak := fs.Int64("assert-peak-bytes", 0, "fail if peak resident chunk bytes exceed this (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	guest, err := topology.RandomGuest(rng, *n, *deg)
+	if err != nil {
+		return err
+	}
+	host, err := topology.WrappedButterfly(*hostDim)
+	if err != nil {
+		return err
+	}
+	chunks := pebble.NewChunkedLog(pebble.ChunkedLogOptions{
+		TargetChunkBytes: *chunkKB << 10,
+		MemBudgetBytes:   int64(*budgetKB) << 10,
+	})
+	defer chunks.Close()
+	start := time.Now()
+	rep, err := universal.RunStreamingEmbedding(guest, host, nil, *steps, universal.StreamRunConfig{
+		Shards:        *shards,
+		Window:        *window,
+		Chunks:        chunks,
+		MeasureStalls: true,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streaming run: guest n=%d (%d-regular), host m=%d, T=%d, shards=%d, window=%d\n",
+		rep.N, *deg, rep.M, rep.T, *shards, *window)
+	fmt.Printf("host steps T'=%d ops=%d slowdown=%.2f inefficiency k=%.2f maxload=%d (%.1fs)\n",
+		rep.HostSteps, rep.Ops, rep.Slowdown, rep.Inefficiency, rep.MaxLoad, elapsed.Seconds())
+	fmt.Printf("protocol bytes: encoded=%d peak-resident=%d spilled=%d\n",
+		rep.EncodedBytes, rep.PeakChunkBytes, rep.SpilledBytes)
+	fmt.Printf("pipeline stalls: builder=%dms validator=%dms\n",
+		rep.SendStallNs/1e6, rep.RecvStallNs/1e6)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		sp := pebble.Spec{Guest: guest, Host: host, T: *steps}
+		if err := pebble.WriteBinary(f, sp, chunks.Source()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("protocol written to %s\n", *save)
+	}
+	if *maxPeak > 0 && rep.PeakChunkBytes > *maxPeak {
+		return fmt.Errorf("peak resident chunk bytes %d exceed budget %d", rep.PeakChunkBytes, *maxPeak)
+	}
 	return nil
 }
 

@@ -7,8 +7,9 @@
 //	bound      — evaluate the Theorem 3.1 lower bound k(m)
 //	tradeoff   — print the m·s vs n·log m trade-off table
 //	pebble     — build and validate a pebble-game protocol; print statistics
+//	bigsim     — streaming build+validate at big n (chunked storage, shards)
 //	figure1    — render the Figure 1 dependency tree
-//	experiment — run a subset of the E1..E23 suite (parallel runner, JSON)
+//	experiment — run a subset of the E1..E24 suite (parallel runner, JSON)
 //	report     — run the full suite and print every table
 //	serve      — run the suite with live metrics over HTTP (expvar, pprof)
 //
@@ -42,6 +43,8 @@ func main() {
 		err = cmdTradeoff(args)
 	case "pebble":
 		err = cmdPebble(args)
+	case "bigsim":
+		err = cmdBigsim(args)
 	case "figure1":
 		err = cmdFigure1(args)
 	case "experiment":
@@ -79,11 +82,12 @@ commands:
   bound      -log2m X [-toy]  or  -n N -m M [-toy]
   tradeoff   -n N -ms 256,1024,4096 [-toy]
   pebble     -n N -deg C -hostdim D -steps T [-seed S]
+  bigsim     -n N -deg C -hostdim D -steps T [-shards W] [-window K] [-chunk-kb KB] [-budget-kb KB] [-save F] [-assert-peak-bytes B] [-seed S]
   figure1    [-blockside P] [-seed S]
   experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
-  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E23 suite)
+  report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E24 suite)
   serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]   (suite + live metrics + /v1 service)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)

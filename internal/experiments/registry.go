@@ -70,7 +70,7 @@ type Experiment struct {
 	Run     func(ctx context.Context, cfg Config) (Result, error)
 }
 
-// Registry returns the full evaluation suite E1–E23 with the default
+// Registry returns the full evaluation suite E1–E24 with the default
 // parameters of EXPERIMENTS.md, in id order. The slice is freshly built on
 // every call, so callers may reorder or subset it freely.
 func Registry() []Experiment {
@@ -368,6 +368,18 @@ func Registry() []Experiment {
 					"rows":     rows,
 					"counters": E23Counters(rows).Map(),
 				}}, nil
+			},
+		},
+		{
+			ID:      "E24",
+			Claim:   "Streaming pipeline: slowdown O((n/m)·log m) holds while peak protocol memory stays bounded by the chunk budget, not by T'·ops",
+			Modules: "pebble,universal,topology,obs",
+			Run: func(ctx context.Context, cfg Config) (Result, error) {
+				rows, err := E24StreamingScale(ctx, []int{2000, 6000}, 3, 4, 2, 4, cfg.SeedFor("E24"))
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Text: E24Table(rows).String(), Payload: map[string]any{"rows": rows}}, nil
 			},
 		},
 	}

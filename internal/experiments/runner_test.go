@@ -15,8 +15,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 23 {
-		t.Fatalf("Registry: got %d experiments, want 23", len(reg))
+	if len(reg) != 24 {
+		t.Fatalf("Registry: got %d experiments, want 24", len(reg))
 	}
 	for i, e := range reg {
 		wantID := fmt.Sprintf("E%d", i+1)
@@ -40,8 +40,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Select(nil): %v", err)
 	}
-	if len(all) != 23 {
-		t.Fatalf("Select(nil): got %d, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("Select(nil): got %d, want 24", len(all))
 	}
 
 	sel, err := Select([]string{" e4", "E1 ", "e12"})

@@ -1,6 +1,7 @@
 package pebble
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -69,5 +70,104 @@ func TestValidateSmallProtocolAllocations(t *testing.T) {
 	})
 	if avg > smallValidateAllocBudget {
 		t.Errorf("Validate of a small protocol allocates %.1f (budget %d)", avg, smallValidateAllocBudget)
+	}
+}
+
+// Streaming warm-path budgets: the per-step steady state of the pipeline —
+// pipe hand-off, step codec, and sharded validation — allocates nothing,
+// matching the dense engine's warm ApplyStep guarantee. These pins are what
+// keeps n = 10⁶ runs out of the allocator entirely.
+
+func TestPipeWarmAllocations(t *testing.T) {
+	pr, _ := allocFixture(t)
+	// Window 2: the consumer returns its lent slot on the *next* NextStep
+	// call, so strict append/next alternation needs one slot of slack.
+	pipe := NewPipe(2)
+	// Warm every slot once so the ring buffers reach their final size.
+	for _, ops := range pr.Steps {
+		if err := pipe.AppendStep(ops); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pipe.NextStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, ops := range pr.Steps {
+			if err := pipe.AppendStep(ops); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pipe.NextStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if perStep := avg / float64(len(pr.Steps)); perStep > 0 {
+		t.Errorf("warm pipe cycle allocates %.3f/step (budget 0): slot reuse regressed", perStep)
+	}
+}
+
+func TestStepCodecWarmAllocations(t *testing.T) {
+	pr, _ := allocFixture(t)
+	var encBuf []byte
+	var decBuf []Op
+	// Grow both buffers to their steady-state capacity.
+	for _, ops := range pr.Steps {
+		encBuf = appendStepBytes(encBuf[:0], ops)
+		out, _, err := decodeStepBytes(encBuf, decBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decBuf = out
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, ops := range pr.Steps {
+			encBuf = appendStepBytes(encBuf[:0], ops)
+			out, _, err := decodeStepBytes(encBuf, decBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decBuf = out
+		}
+	})
+	if perStep := avg / float64(len(pr.Steps)); perStep > 0 {
+		t.Errorf("warm codec cycle allocates %.3f/step (budget 0): buffer reuse regressed", perStep)
+	}
+}
+
+// repeatSource replays the same materialized steps r times — legal input
+// (regenerating held pebbles passes checkGenerate), which isolates the
+// validator's per-step marginal cost from its fixed setup cost.
+type repeatSource struct {
+	steps [][]Op
+	reps  int
+	i     int
+}
+
+func (s *repeatSource) NextStep() ([]Op, error) {
+	if s.i >= s.reps*len(s.steps) {
+		return nil, io.EOF
+	}
+	ops := s.steps[s.i%len(s.steps)]
+	s.i++
+	return ops, nil
+}
+
+func TestShardedValidateWarmAllocations(t *testing.T) {
+	pr, _ := allocFixture(t)
+	sp := pr.Spec()
+	measure := func(reps int) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := ValidateSharded(sp, &repeatSource{steps: pr.Steps, reps: reps}, ShardedOptions{Shards: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(1)
+	long := measure(21)
+	extraSteps := float64(20 * len(pr.Steps))
+	perStep := (long - base) / extraSteps
+	if perStep > 0.05 {
+		t.Errorf("sharded validation allocates %.3f per marginal step (budget 0): steady state regressed", perStep)
 	}
 }

@@ -19,12 +19,24 @@ import (
 // The returned protocol passes Validate; its Inefficiency() is the measured
 // k of the run.
 func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol, error) {
+	pr := &Protocol{Guest: guest, Host: host, T: T}
+	if err := StreamEmbeddingProtocol(guest, host, f, T, &ProtocolSink{Proto: pr}); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// StreamEmbeddingProtocol is the streaming core of BuildEmbeddingProtocol:
+// identical schedule, but each host step is emitted through sink as soon as
+// it is assembled, so the protocol never has to exist as a whole. The ops
+// slice passed to the sink is reused across steps.
+func StreamEmbeddingProtocol(guest, host *graph.Graph, f []int, T int, sink StepSink) error {
 	n, m := guest.N(), host.N()
 	if T < 1 {
-		return nil, fmt.Errorf("pebble: need T ≥ 1, got %d", T)
+		return fmt.Errorf("pebble: need T ≥ 1, got %d", T)
 	}
 	if !host.IsConnected() {
-		return nil, fmt.Errorf("pebble: host must be connected")
+		return fmt.Errorf("pebble: host must be connected")
 	}
 	if f == nil {
 		f = make([]int, n)
@@ -33,11 +45,11 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		}
 	}
 	if len(f) != n {
-		return nil, fmt.Errorf("pebble: assignment length %d, want %d", len(f), n)
+		return fmt.Errorf("pebble: assignment length %d, want %d", len(f), n)
 	}
 	for i, q := range f {
 		if q < 0 || q >= m {
-			return nil, fmt.Errorf("pebble: guest %d assigned to invalid host %d", i, q)
+			return fmt.Errorf("pebble: guest %d assigned to invalid host %d", i, q)
 		}
 	}
 
@@ -101,15 +113,11 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		return -1
 	}
 
-	// Ops are assembled in a reusable scratch and copied into an exact-size
-	// slice per step, so steps carry no append-growth slack.
+	// Ops are assembled in a reusable scratch handed to the sink each step;
+	// retaining sinks (ProtocolSink, ChunkedLog) copy, so steps carry no
+	// append-growth slack in the materialized form.
 	var opsBuf []Op
-	pr := &Protocol{Guest: guest, Host: host, T: T}
-	emit := func() {
-		step := make([]Op, len(opsBuf))
-		copy(step, opsBuf)
-		pr.Steps = append(pr.Steps, step)
-	}
+	emit := func() error { return sink.AppendStep(opsBuf) }
 	busyStamp := make([]int32, m)
 	busyEpoch := int32(0)
 	for t := 1; t <= T; t++ {
@@ -121,7 +129,9 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 					opsBuf = append(opsBuf, Op{Kind: Generate, Proc: q, Pebble: Type{P: guestsOf[q][r], T: t}})
 				}
 			}
-			emit()
+			if err := emit(); err != nil {
+				return err
+			}
 		}
 		if t == T {
 			break // final pebbles need not be distributed
@@ -132,7 +142,7 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		for remaining := len(tasks); remaining > 0; {
 			guard++
 			if guard > 16*(m+n)*(maxLoad+1) {
-				return nil, fmt.Errorf("pebble: distribution stalled at guest step %d", t)
+				return fmt.Errorf("pebble: distribution stalled at guest step %d", t)
 			}
 			busyEpoch++
 			opsBuf = opsBuf[:0]
@@ -146,7 +156,7 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 				}
 				v := nextHop(tk.at, tk.dst)
 				if v < 0 {
-					return nil, fmt.Errorf("pebble: no route from %d to %d", tk.at, tk.dst)
+					return fmt.Errorf("pebble: no route from %d to %d", tk.at, tk.dst)
 				}
 				if busyStamp[v] == busyEpoch {
 					continue
@@ -161,12 +171,14 @@ func BuildEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 				}
 			}
 			if len(opsBuf) == 0 {
-				return nil, fmt.Errorf("pebble: no progress in distribution at guest step %d", t)
+				return fmt.Errorf("pebble: no progress in distribution at guest step %d", t)
 			}
-			emit()
+			if err := emit(); err != nil {
+				return err
+			}
 		}
 	}
-	return pr, nil
+	return nil
 }
 
 // BalancedAssignment returns the canonical load-balanced map f of

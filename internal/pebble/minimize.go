@@ -1,6 +1,9 @@
 package pebble
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // MinimizeProtocol removes operations that cannot change the final state:
 // transfers whose receiver already holds the pebble (the copy is a no-op —
@@ -10,17 +13,38 @@ import "fmt"
 // measured slowdown/inefficiency. The result validates and carries the same
 // computations; the returned count is the number of dropped operations.
 func MinimizeProtocol(pr *Protocol) (*Protocol, int, error) {
-	st := NewState(pr.Guest, pr.Host, pr.T)
 	out := &Protocol{Guest: pr.Guest, Host: pr.Host, T: pr.T}
+	dropped, err := MinimizeStream(pr.Spec(), pr.Source(), &ProtocolSink{Proto: out})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, dropped, nil
+}
+
+// MinimizeStream is the streaming core of MinimizeProtocol: it reads steps
+// from src, drops the no-op operations, and emits the surviving (non-empty)
+// steps to sink — so minimization no longer forces the whole protocol into
+// memory. The kept-ops slice handed to the sink is reused across steps.
+func MinimizeStream(sp Spec, src StepSource, sink StepSink) (int, error) {
+	st := NewState(sp.Guest, sp.Host, sp.T)
 	dropped := 0
-	for si, step := range pr.Steps {
-		var kept []Op
+	var kept []Op
+	dropPair := make(map[[3]int]bool) // (from·m+to, pebble) of transfers to drop
+	for si := 0; ; si++ {
+		step, err := src.NextStep()
+		if err == io.EOF {
+			return dropped, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		kept = kept[:0]
 		// First pass: decide which transfers are no-ops (receiver already
 		// holds the pebble BEFORE this step). Send/Receive pairs must be
 		// dropped together.
-		dropPair := make(map[[3]int]bool) // (from, to, pebble-hash-free) key below
+		clear(dropPair)
 		key := func(from, to int, pb Type) [3]int {
-			return [3]int{from*pr.Host.N() + to, pb.P, pb.T}
+			return [3]int{from*sp.Host.N() + to, pb.P, pb.T}
 		}
 		for _, op := range step {
 			if op.Kind == Receive && st.Contains(op.Proc, op.Pebble) {
@@ -48,15 +72,16 @@ func MinimizeProtocol(pr *Protocol) (*Protocol, int, error) {
 				}
 				kept = append(kept, op)
 			default:
-				return nil, 0, fmt.Errorf("pebble: unknown op kind %v at step %d", op.Kind, si)
+				return 0, fmt.Errorf("pebble: unknown op kind %v at step %d", op.Kind, si)
 			}
 		}
 		if err := st.ApplyStep(kept); err != nil {
-			return nil, 0, fmt.Errorf("pebble: minimization broke step %d (bug): %w", si+1, err)
+			return 0, fmt.Errorf("pebble: minimization broke step %d (bug): %w", si+1, err)
 		}
 		if len(kept) > 0 {
-			out.Steps = append(out.Steps, kept)
+			if err := sink.AppendStep(kept); err != nil {
+				return 0, err
+			}
 		}
 	}
-	return out, dropped, nil
 }

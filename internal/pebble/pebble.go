@@ -118,16 +118,9 @@ func (pr *Protocol) Validate() (*State, error) {
 	sp := pr.Obs.StartSpan("pebble.validate",
 		obs.KV("host_steps", pr.HostSteps()), obs.KV("guest_steps", pr.T))
 	defer sp.End()
-	st := NewState(pr.Guest, pr.Host, pr.T)
-	for τ, step := range pr.Steps {
-		if err := st.ApplyStep(step); err != nil {
-			return nil, fmt.Errorf("pebble: host step %d: %w", τ+1, err)
-		}
-	}
-	for i := 0; i < pr.Guest.N(); i++ {
-		if !st.hasGenerator(Type{P: i, T: pr.T}) {
-			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, pr.T)
-		}
+	st, err := ValidateSource(pr.Spec(), pr.Source())
+	if err != nil {
+		return nil, err
 	}
 	pr.observeValidate()
 	return st, nil

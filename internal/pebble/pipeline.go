@@ -19,22 +19,41 @@ import (
 // phase-based builder on every non-trivial instance; the E15 ablation
 // quantifies the gap.
 func BuildPipelinedProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol, error) {
+	pr := &Protocol{Guest: guest, Host: host, T: T}
+	// ownedSink: the builder allocates a fresh ops slice per step, so the
+	// materialized protocol can own them without a copy (preserving the
+	// builder's historical allocation profile).
+	if err := streamPipelined(guest, host, f, T, &ownedSink{proto: pr}); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// StreamPipelinedProtocol emits the pipelined greedy schedule through sink,
+// one host step at a time. Unlike the materializing wrapper it hands the
+// sink a slice it will not reuse, but the StepSink contract still only
+// guarantees validity for the duration of the call.
+func StreamPipelinedProtocol(guest, host *graph.Graph, f []int, T int, sink StepSink) error {
+	return streamPipelined(guest, host, f, T, sink)
+}
+
+func streamPipelined(guest, host *graph.Graph, f []int, T int, sink StepSink) error {
 	n, m := guest.N(), host.N()
 	if T < 1 {
-		return nil, fmt.Errorf("pebble: need T ≥ 1, got %d", T)
+		return fmt.Errorf("pebble: need T ≥ 1, got %d", T)
 	}
 	if !host.IsConnected() {
-		return nil, fmt.Errorf("pebble: host must be connected")
+		return fmt.Errorf("pebble: host must be connected")
 	}
 	if f == nil {
 		f = BalancedAssignment(n, m)
 	}
 	if len(f) != n {
-		return nil, fmt.Errorf("pebble: assignment length %d, want %d", len(f), n)
+		return fmt.Errorf("pebble: assignment length %d, want %d", len(f), n)
 	}
 	for i, q := range f {
 		if q < 0 || q >= m {
-			return nil, fmt.Errorf("pebble: guest %d assigned to invalid host %d", i, q)
+			return fmt.Errorf("pebble: guest %d assigned to invalid host %d", i, q)
 		}
 	}
 
@@ -103,7 +122,6 @@ func BuildPipelinedProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		return -1
 	}
 
-	pr := &Protocol{Guest: guest, Host: host, T: T}
 	var tasks []*task
 	remainingGen := n * T
 	guard := 0
@@ -112,7 +130,7 @@ func BuildPipelinedProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 	for remainingGen > 0 || len(tasks) > 0 {
 		guard++
 		if guard > maxSteps {
-			return nil, fmt.Errorf("pebble: pipelined builder exceeded %d steps", maxSteps)
+			return fmt.Errorf("pebble: pipelined builder exceeded %d steps", maxSteps)
 		}
 		busy := make([]bool, m)
 		var ops []Op
@@ -137,7 +155,7 @@ func BuildPipelinedProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 			}
 			v := nextHop(tk.at, tk.dst)
 			if v < 0 {
-				return nil, fmt.Errorf("pebble: no route %d→%d", tk.at, tk.dst)
+				return fmt.Errorf("pebble: no route %d→%d", tk.at, tk.dst)
 			}
 			if busy[v] {
 				stillTasks = append(stillTasks, tk)
@@ -177,13 +195,15 @@ func BuildPipelinedProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol
 		}
 		ops = append(ops, gains...)
 		if len(ops) == 0 {
-			return nil, fmt.Errorf("pebble: pipelined builder stalled (remaining generations %d, tasks %d)",
+			return fmt.Errorf("pebble: pipelined builder stalled (remaining generations %d, tasks %d)",
 				remainingGen, len(tasks))
 		}
 		if err := st.ApplyStep(ops); err != nil {
-			return nil, fmt.Errorf("pebble: pipelined builder emitted illegal step (bug): %w", err)
+			return fmt.Errorf("pebble: pipelined builder emitted illegal step (bug): %w", err)
 		}
-		pr.Steps = append(pr.Steps, ops)
+		if err := sink.AppendStep(ops); err != nil {
+			return err
+		}
 	}
-	return pr, nil
+	return nil
 }

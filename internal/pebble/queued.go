@@ -1,0 +1,213 @@
+package pebble
+
+import (
+	"fmt"
+
+	"universalnet/internal/graph"
+)
+
+// StreamQueuedEmbeddingProtocol is the scalable sibling of
+// StreamEmbeddingProtocol, built for guests far larger than the host
+// (n ≫ m). It emits the same phased schedule shape — per guest step, a
+// generation phase of maxLoad host steps followed by a distribution phase —
+// but schedules the distribution with per-host FIFO task queues instead of
+// rescanning the full task list every host step. Each host step costs
+// O(m + transfers) instead of O(total tasks), which is the difference
+// between minutes and weeks at n = 10⁶.
+//
+// Scheduling rule: hosts are scanned in index order; a free host forwards
+// the head task of its queue one hop toward its destination if that hop is
+// also free (head-of-line semantics — a blocked head blocks its queue for
+// the step). Progress per host step is guaranteed: the first host whose
+// head task is considered either moves it or was blocked by an earlier
+// transfer this step.
+//
+// The ops slice handed to sink is reused across steps. The resulting
+// protocol validates (the tests replay it through both engines); its exact
+// step sequence differs from StreamEmbeddingProtocol's, so it is a distinct
+// builder, not a drop-in replacement where byte-identical output matters.
+func StreamQueuedEmbeddingProtocol(guest, host *graph.Graph, f []int, T int, sink StepSink) error {
+	n, m := guest.N(), host.N()
+	if T < 1 {
+		return fmt.Errorf("pebble: need T ≥ 1, got %d", T)
+	}
+	if !host.IsConnected() {
+		return fmt.Errorf("pebble: host must be connected")
+	}
+	if f == nil {
+		f = BalancedAssignment(n, m)
+	}
+	if len(f) != n {
+		return fmt.Errorf("pebble: assignment length %d, want %d", len(f), n)
+	}
+	for i, q := range f {
+		if q < 0 || q >= m {
+			return fmt.Errorf("pebble: guest %d assigned to invalid host %d", i, q)
+		}
+	}
+
+	guestsOf := make([][]int32, m)
+	for i := 0; i < n; i++ {
+		guestsOf[f[i]] = append(guestsOf[f[i]], int32(i))
+	}
+	maxLoad := 0
+	for _, gs := range guestsOf {
+		if len(gs) > maxLoad {
+			maxLoad = len(gs)
+		}
+	}
+
+	// Distance tables per destination host. m stays small even when n is
+	// huge, so the cache is m² ints at worst.
+	distCache := make([][]int, m)
+	distTo := func(dst int) []int {
+		if d := distCache[dst]; d != nil {
+			return d
+		}
+		d := host.BFS(dst)
+		distCache[dst] = d
+		return d
+	}
+	nextHop := func(at, dst int) int {
+		d := distTo(dst)
+		for _, w := range host.Neighbors(at) {
+			if d[w] == d[at]-1 {
+				return w
+			}
+		}
+		return -1
+	}
+
+	// Task arena and per-host FIFO queues, reused across guest steps. A task
+	// records only the pebble's guest index and destination; the pebble time
+	// is the ambient t, the current position is the queue it sits in.
+	type qtask struct {
+		p    int32
+		dst  int32
+		next int32 // arena link; -1 ends a queue
+	}
+	var arena []qtask
+	head := make([]int32, m)
+	tail := make([]int32, m)
+	seenStamp := make([]int32, m)
+	seenEpoch := int32(0)
+	busyStamp := make([]int32, m)
+	busyEpoch := int32(0)
+	var opsBuf []Op
+
+	for t := 1; t <= T; t++ {
+		// Generation phase: maxLoad host steps, identical to the legacy
+		// builder's schedule.
+		for r := 0; r < maxLoad; r++ {
+			opsBuf = opsBuf[:0]
+			for q := 0; q < m; q++ {
+				if r < len(guestsOf[q]) {
+					opsBuf = append(opsBuf, Op{Kind: Generate, Proc: q, Pebble: Type{P: int(guestsOf[q][r]), T: t}})
+				}
+			}
+			if err := sink.AppendStep(opsBuf); err != nil {
+				return err
+			}
+		}
+		if t == T {
+			break // final pebbles need not be distributed
+		}
+
+		// Build the distribution tasks for step t: (P_i, t) from f(i) to each
+		// distinct host of i's neighbors, enqueued at f(i) in guest order.
+		arena = arena[:0]
+		for q := range head {
+			head[q], tail[q] = -1, -1
+		}
+		pending := 0
+		totalHops := 0
+		for i := 0; i < n; i++ {
+			seenEpoch++
+			src := f[i]
+			seenStamp[src] = seenEpoch
+			for _, j := range guest.Neighbors(i) {
+				h := f[j]
+				if seenStamp[h] == seenEpoch {
+					continue
+				}
+				seenStamp[h] = seenEpoch
+				id := int32(len(arena))
+				arena = append(arena, qtask{p: int32(i), dst: int32(h), next: -1})
+				if tail[src] < 0 {
+					head[src] = id
+				} else {
+					arena[tail[src]].next = id
+				}
+				tail[src] = id
+				pending++
+				totalHops += distTo(h)[src]
+			}
+		}
+
+		// Distribution phase: every host step forwards at least one task one
+		// hop, so the phase ends within totalHops steps; the guard allows
+		// slack for empty scans around phase boundaries.
+		guard := 0
+		maxSteps := 4*totalHops + 4*m + 16
+		for pending > 0 {
+			guard++
+			if guard > maxSteps {
+				return fmt.Errorf("pebble: distribution stalled at guest step %d", t)
+			}
+			busyEpoch++
+			opsBuf = opsBuf[:0]
+			for q := 0; q < m; q++ {
+				if busyStamp[q] == busyEpoch || head[q] < 0 {
+					continue
+				}
+				id := head[q]
+				tk := &arena[id]
+				v := nextHop(q, int(tk.dst))
+				if v < 0 {
+					return fmt.Errorf("pebble: no route from %d to %d", q, tk.dst)
+				}
+				if busyStamp[v] == busyEpoch {
+					continue // head-of-line: queue waits for the next step
+				}
+				// Pop from q, transfer, and settle at v.
+				head[q] = tk.next
+				if head[q] < 0 {
+					tail[q] = -1
+				}
+				tk.next = -1
+				busyStamp[q] = busyEpoch
+				busyStamp[v] = busyEpoch
+				pb := Type{P: int(tk.p), T: t}
+				opsBuf = append(opsBuf, Op{Kind: Send, Proc: q, Pebble: pb, Peer: v})
+				opsBuf = append(opsBuf, Op{Kind: Receive, Proc: v, Pebble: pb, Peer: q})
+				if int(tk.dst) == v {
+					pending--
+				} else {
+					if tail[v] < 0 {
+						head[v] = id
+					} else {
+						arena[tail[v]].next = id
+					}
+					tail[v] = id
+				}
+			}
+			if len(opsBuf) == 0 {
+				return fmt.Errorf("pebble: no progress in distribution at guest step %d", t)
+			}
+			if err := sink.AppendStep(opsBuf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildQueuedEmbeddingProtocol materializes the queued builder's schedule —
+// the small-n form used by the equivalence tests; big runs stream instead.
+func BuildQueuedEmbeddingProtocol(guest, host *graph.Graph, f []int, T int) (*Protocol, error) {
+	pr := &Protocol{Guest: guest, Host: host, T: T}
+	if err := StreamQueuedEmbeddingProtocol(guest, host, f, T, &ProtocolSink{Proto: pr}); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

@@ -2,6 +2,7 @@ package pebble
 
 import (
 	"fmt"
+	"io"
 
 	"universalnet/internal/graph"
 	"universalnet/internal/sim"
@@ -18,10 +19,18 @@ import (
 //
 // The computation must be over the protocol's guest graph.
 func StatefulReplay(pr *Protocol, c *sim.Computation) ([]sim.State, error) {
-	if c.G != pr.Guest && !c.G.Equal(pr.Guest) {
+	return StatefulReplayStream(pr.Spec(), pr.Source(), c)
+}
+
+// StatefulReplayStream is the streaming form of StatefulReplay: steps are
+// consumed from src one at a time, so the protocol itself never has to be
+// materialized (the carried per-pebble state maps still are — semantics
+// replay is inherently a small-n verification tool).
+func StatefulReplayStream(sp Spec, src StepSource, c *sim.Computation) ([]sim.State, error) {
+	if c.G != sp.Guest && !c.G.Equal(sp.Guest) {
 		return nil, fmt.Errorf("pebble: computation is over a different guest graph")
 	}
-	n, m := pr.Guest.N(), pr.Host.N()
+	n, m := sp.Guest.N(), sp.Host.N()
 	// value[q][ty] = configuration attached to the pebble ty at host q.
 	value := make([]map[Type]sim.State, m)
 	for q := 0; q < m; q++ {
@@ -30,8 +39,15 @@ func StatefulReplay(pr *Protocol, c *sim.Computation) ([]sim.State, error) {
 			value[q][Type{P: i, T: 0}] = c.Init[i]
 		}
 	}
-	nbuf := make([]sim.State, 0, pr.Guest.MaxDegree())
-	for τ, step := range pr.Steps {
+	nbuf := make([]sim.State, 0, sp.Guest.MaxDegree())
+	for τ := 0; ; τ++ {
+		step, err := src.NextStep()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 		// Stage the receives so that intra-step ordering cannot matter.
 		type gain struct {
 			q  int
@@ -48,7 +64,7 @@ func StatefulReplay(pr *Protocol, c *sim.Computation) ([]sim.State, error) {
 					return nil, fmt.Errorf("pebble: step %d: generate %v on %d lacks own predecessor state", τ+1, ty, op.Proc)
 				}
 				nbuf = nbuf[:0]
-				for _, j := range pr.Guest.Neighbors(ty.P) {
+				for _, j := range sp.Guest.Neighbors(ty.P) {
 					v, ok := value[op.Proc][Type{P: j, T: ty.T - 1}]
 					if !ok {
 						return nil, fmt.Errorf("pebble: step %d: generate %v on %d lacks neighbor %d state", τ+1, ty, op.Proc, j)
@@ -78,7 +94,7 @@ func StatefulReplay(pr *Protocol, c *sim.Computation) ([]sim.State, error) {
 	// Collect the final configurations from any holder of each final pebble.
 	final := make([]sim.State, n)
 	for i := 0; i < n; i++ {
-		ty := Type{P: i, T: pr.T}
+		ty := Type{P: i, T: sp.T}
 		found := false
 		for q := 0; q < m && !found; q++ {
 			if v, ok := value[q][ty]; ok {

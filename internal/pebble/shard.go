@@ -1,0 +1,521 @@
+package pebble
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"universalnet/internal/obs"
+)
+
+// Sharded streaming validation. The per-processor possession bitsets are
+// independent by construction (PR 5's dense layout): every Generate and
+// Send check reads only the acting processor's row, and every gain writes
+// only the gaining processor's row. So validation shards by processor —
+// shard s owns the contiguous processor range [s·m/S, (s+1)·m/S) — with a
+// per-step barrier as the only synchronization point. Send/receive matching
+// crosses shards, but sends are unique per sender and receives unique per
+// receiver (the one-op rule), so a proc-indexed, step-stamped table gives
+// O(ops) matching with no locks: senders write their own slots in phase 1,
+// receivers read them after the barrier in phase 2.
+//
+// The sharded validator keeps only the "lite" state — possession bitsets
+// plus a generated-pebble bitset — not the holder/generator tables or
+// first-held steps of the full State. That is what makes n = 10⁶ fit in
+// RAM: memory is m·(T+1)·n/8 bytes of bitsets, independent of the number
+// of operations. Accept/reject decisions and error messages are identical
+// to State.ApplyStep; the oracle equivalence suite pins this.
+
+// StreamStats summarizes a successfully validated stream.
+type StreamStats struct {
+	HostSteps  int
+	Ops        int64
+	Generates  int64
+	Sends      int64
+	Receives   int64
+	MaxStepOps int
+}
+
+// Slowdown returns HostSteps/T for the validated horizon.
+func (s *StreamStats) Slowdown(T int) float64 {
+	if T == 0 {
+		return 0
+	}
+	return float64(s.HostSteps) / float64(T)
+}
+
+// ShardedOptions configures ValidateSharded.
+type ShardedOptions struct {
+	// Shards is the number of parallel validation shards; values < 1 (and
+	// values above the host size) are clamped. 1 runs inline with no
+	// goroutines.
+	Shards int
+	// Obs, when non-nil, receives deterministic stream counters (steps, ops
+	// by kind) — schedule-independent by construction, so experiment
+	// metrics stay byte-identical across shard counts.
+	Obs *obs.Registry
+}
+
+// error classes, in dense-engine precedence order: any op-scan error beats
+// any unmatched-receive error beats any unmatched-send error, because
+// State.ApplyStep scans all ops before matching and matches receives before
+// checking leftover sends. Within a class the smallest op index wins —
+// exactly the op the sequential engine would have tripped on first.
+const (
+	errClassNone = iota
+	errClassScan
+	errClassRecv
+	errClassSend
+)
+
+type stepError struct {
+	class int
+	opIdx int
+	err   error
+}
+
+type recvRec struct {
+	opIdx int32
+	proc  int32
+	peer  int
+	pb    Type
+}
+
+type shardedValidator struct {
+	sp      Spec
+	n, m, T int
+	numIDs  int
+	words   int
+	shards  int
+
+	contains  []uint64   // m rows × words, owner-partitioned writes
+	busyStamp []int32    // per processor, owner-only
+	generated [][]uint64 // per shard: numIDs bits of "was generated"
+
+	// Per-step send table, indexed by sender. Written by the sender's shard
+	// in phase 1, read (and consumed) by receiver shards in phase 2 after
+	// the barrier. A slot is live iff sendStamp[q] == stamp.
+	sendStamp    []int32
+	sendTo       []int32
+	sendID       []int32
+	sendOpIdx    []int32
+	sendConsumed []int32
+
+	shardOf []int32 // processor → owning shard
+	lo, hi  []int   // shard → owned processor range [lo, hi)
+
+	// Published by the coordinator before the step barrier.
+	curOps []Op
+	stamp  int32
+	done   bool
+
+	// Per-shard step results, reset by each shard at phase-1 entry.
+	errs  []stepError
+	recvs [][]recvRec
+	gains [][]gainRec
+
+	genCount, sendCount, recvCount []int64
+
+	barrier spinBarrier
+}
+
+// spinBarrier is a sense-counting barrier for shards+coordinator. Steps are
+// microseconds of work, so spinning with Gosched beats channel wakeups by a
+// wide margin; the atomics carry the happens-before edges the phases need.
+type spinBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+func (b *spinBarrier) wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		runtime.Gosched()
+	}
+}
+
+// ValidateSharded replays a protocol stream against the lite sharded state
+// and returns its stats. Accept/reject decisions — and the error for a
+// rejected stream — are identical to sequential validation with
+// State.ApplyStep (errors wrapped as "pebble: host step %d: ..."), and the
+// final-generator check matches Validate. Source errors are returned
+// verbatim.
+func ValidateSharded(sp Spec, src StepSource, opts ShardedOptions) (*StreamStats, error) {
+	n, m := sp.Guest.N(), sp.Host.N()
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > m {
+		shards = m
+	}
+	numIDs := (sp.T + 1) * n
+	words := (numIDs + 63) / 64
+	v := &shardedValidator{
+		sp:     sp,
+		n:      n,
+		m:      m,
+		T:      sp.T,
+		numIDs: numIDs,
+		words:  words,
+		shards: shards,
+
+		contains:  make([]uint64, m*words),
+		busyStamp: make([]int32, m),
+		generated: make([][]uint64, shards),
+
+		sendStamp:    make([]int32, m),
+		sendTo:       make([]int32, m),
+		sendID:       make([]int32, m),
+		sendOpIdx:    make([]int32, m),
+		sendConsumed: make([]int32, m),
+
+		shardOf: make([]int32, m),
+		lo:      make([]int, shards),
+		hi:      make([]int, shards),
+
+		errs:      make([]stepError, shards),
+		recvs:     make([][]recvRec, shards),
+		gains:     make([][]gainRec, shards),
+		genCount:  make([]int64, shards),
+		sendCount: make([]int64, shards),
+		recvCount: make([]int64, shards),
+	}
+	for s := 0; s < shards; s++ {
+		v.generated[s] = make([]uint64, words)
+		v.lo[s] = s * m / shards
+		v.hi[s] = (s + 1) * m / shards
+		for q := v.lo[s]; q < v.hi[s]; q++ {
+			v.shardOf[q] = int32(s)
+		}
+	}
+	// Start configuration: every processor holds all (P_i, 0) pebbles.
+	for q := 0; q < m; q++ {
+		row := v.contains[q*words : (q+1)*words]
+		for w := 0; w < n/64; w++ {
+			row[w] = ^uint64(0)
+		}
+		if r := uint(n) & 63; r != 0 {
+			row[n/64] |= 1<<r - 1
+		}
+	}
+
+	stats := &StreamStats{}
+	var runErr error
+	if shards == 1 {
+		runErr = v.runSequential(src, stats)
+	} else {
+		runErr = v.runParallel(src, stats)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	// Final-generator check, merged across shard bitsets.
+	base := sp.T * n
+	for i := 0; i < n; i++ {
+		id := base + i
+		found := false
+		for s := 0; s < shards; s++ {
+			if v.generated[s][id>>6]&(1<<(uint(id)&63)) != 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, sp.T)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		stats.Generates += v.genCount[s]
+		stats.Sends += v.sendCount[s]
+		stats.Receives += v.recvCount[s]
+	}
+	if opts.Obs != nil {
+		opts.Obs.Counter("pebble.stream.validations").Inc()
+		opts.Obs.Counter("pebble.stream.host_steps").Add(int64(stats.HostSteps))
+		opts.Obs.Counter("pebble.stream.ops").Add(stats.Ops)
+		opts.Obs.Counter("pebble.stream.ops.generate").Add(stats.Generates)
+		opts.Obs.Counter("pebble.stream.ops.send").Add(stats.Sends)
+		opts.Obs.Counter("pebble.stream.ops.receive").Add(stats.Receives)
+		opts.Obs.Gauge("pebble.stream.max_step_ops").SetMax(int64(stats.MaxStepOps))
+	}
+	return stats, nil
+}
+
+func (v *shardedValidator) runSequential(src StepSource, stats *StreamStats) error {
+	for {
+		ops, err := src.NextStep()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		v.curOps = ops
+		v.stamp++
+		v.phaseScan(0)
+		v.phaseMatch(0)
+		v.phaseSettle(0)
+		if e := v.stepVerdict(); e != nil {
+			return e
+		}
+		v.recordStep(stats, len(ops))
+	}
+}
+
+func (v *shardedValidator) runParallel(src StepSource, stats *StreamStats) error {
+	v.barrier.n = int32(v.shards) // coordinator doubles as shard 0
+	var wg sync.WaitGroup
+	for s := 1; s < v.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for {
+				v.barrier.wait() // step published (or done)
+				if v.done {
+					return
+				}
+				v.phaseScan(s)
+				v.barrier.wait() // all sends registered
+				v.phaseMatch(s)
+				v.barrier.wait() // all consumption settled
+				v.phaseSettle(s)
+				v.barrier.wait() // step complete
+			}
+		}(s)
+	}
+	var stepErr error
+	for {
+		ops, err := src.NextStep()
+		if err == io.EOF {
+			v.done = true
+		} else if err != nil {
+			v.done = true
+			stepErr = err
+		} else {
+			v.curOps = ops
+			v.stamp++
+		}
+		v.barrier.wait()
+		if v.done {
+			break
+		}
+		v.phaseScan(0)
+		v.barrier.wait()
+		v.phaseMatch(0)
+		v.barrier.wait()
+		v.phaseSettle(0)
+		v.barrier.wait()
+		if e := v.stepVerdict(); e != nil {
+			stepErr = e
+			v.done = true
+			v.barrier.wait() // release workers into the exit check
+			break
+		}
+		v.recordStep(stats, len(ops))
+	}
+	wg.Wait()
+	return stepErr
+}
+
+func (v *shardedValidator) recordStep(stats *StreamStats, opCount int) {
+	stats.HostSteps++
+	stats.Ops += int64(opCount)
+	if opCount > stats.MaxStepOps {
+		stats.MaxStepOps = opCount
+	}
+}
+
+// stepVerdict selects the deterministic error of the just-applied step:
+// lowest class first, lowest op index within the class — the error the
+// sequential engine reports.
+func (v *shardedValidator) stepVerdict() error {
+	best := stepError{class: errClassNone}
+	for s := 0; s < v.shards; s++ {
+		e := v.errs[s]
+		if e.class == errClassNone {
+			continue
+		}
+		if best.class == errClassNone || e.class < best.class ||
+			(e.class == best.class && e.opIdx < best.opIdx) {
+			best = e
+		}
+	}
+	if best.class == errClassNone {
+		return nil
+	}
+	return fmt.Errorf("pebble: host step %d: %w", int(v.stamp), best.err)
+}
+
+func (v *shardedValidator) bit(q, id int) bool {
+	return v.contains[q*v.words+id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+func (v *shardedValidator) setBit(q, id int) {
+	v.contains[q*v.words+id>>6] |= 1 << (uint(id) & 63)
+}
+
+func (v *shardedValidator) idOf(pb Type) (int, bool) {
+	if pb.P < 0 || pb.P >= v.n || pb.T < 0 || pb.T > v.T {
+		return 0, false
+	}
+	return pb.T*v.n + pb.P, true
+}
+
+// ownerOf routes out-of-range processors to shard 0, which then reports the
+// same out-of-range error the sequential engine does.
+func (v *shardedValidator) ownerOf(proc int) int {
+	if proc < 0 || proc >= v.m {
+		return 0
+	}
+	return int(v.shardOf[proc])
+}
+
+func (v *shardedValidator) fail(s int, class, opIdx int, err error) {
+	if v.errs[s].class == errClassNone {
+		v.errs[s] = stepError{class: class, opIdx: opIdx, err: err}
+	}
+}
+
+// phaseScan is phase 1: per-op checks and send registration, restricted to
+// ops whose processor the shard owns, in op order. Mirrors the first loop
+// of State.ApplyStep, including error messages. On the shard's first error
+// it stops — later ops of this shard are unreachable for the sequential
+// engine too, and cross-shard effects are screened by the class ordering.
+func (v *shardedValidator) phaseScan(s int) {
+	v.errs[s] = stepError{class: errClassNone}
+	v.recvs[s] = v.recvs[s][:0]
+	v.gains[s] = v.gains[s][:0]
+	stamp := v.stamp
+	for oi, op := range v.curOps {
+		if v.ownerOf(op.Proc) != s {
+			continue
+		}
+		if op.Proc < 0 || op.Proc >= v.m {
+			v.fail(s, errClassScan, oi, fmt.Errorf("processor %d out of range", op.Proc))
+			return
+		}
+		if v.busyStamp[op.Proc] == stamp {
+			v.fail(s, errClassScan, oi, fmt.Errorf("processor %d performs two operations", op.Proc))
+			return
+		}
+		v.busyStamp[op.Proc] = stamp
+		switch op.Kind {
+		case Generate:
+			if err := v.checkGenerate(op.Proc, op.Pebble); err != nil {
+				v.fail(s, errClassScan, oi, err)
+				return
+			}
+			id := op.Pebble.T*v.n + op.Pebble.P
+			v.gains[s] = append(v.gains[s], gainRec{q: int32(op.Proc), id: int32(id)})
+			v.generated[s][id>>6] |= 1 << (uint(id) & 63)
+			v.genCount[s]++
+		case Send:
+			if !v.sp.Host.HasEdge(op.Proc, op.Peer) {
+				v.fail(s, errClassScan, oi, fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer))
+				return
+			}
+			id, ok := v.idOf(op.Pebble)
+			if !ok || !v.bit(op.Proc, id) {
+				v.fail(s, errClassScan, oi, fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble))
+				return
+			}
+			v.sendStamp[op.Proc] = stamp
+			v.sendTo[op.Proc] = int32(op.Peer)
+			v.sendID[op.Proc] = int32(id)
+			v.sendOpIdx[op.Proc] = int32(oi)
+			v.sendCount[s]++
+		case Receive:
+			v.recvs[s] = append(v.recvs[s], recvRec{
+				opIdx: int32(oi), proc: int32(op.Proc), peer: op.Peer, pb: op.Pebble,
+			})
+			v.recvCount[s]++
+		default:
+			v.fail(s, errClassScan, oi, fmt.Errorf("unknown op kind %v", op.Kind))
+			return
+		}
+	}
+}
+
+// phaseMatch is phase 2: match the shard's receives against the global send
+// table. Matching is order-independent — a send's destination and pebble
+// identify its unique receiver — so concurrent consumption is race-free:
+// each consumed slot is written by exactly one shard.
+func (v *shardedValidator) phaseMatch(s int) {
+	stamp := v.stamp
+	for _, r := range v.recvs[s] {
+		matched := false
+		if id, ok := v.idOf(r.pb); ok {
+			from := r.peer
+			if from >= 0 && from < v.m &&
+				v.sendStamp[from] == stamp &&
+				v.sendTo[from] == r.proc &&
+				v.sendID[from] == int32(id) &&
+				v.sendConsumed[from] != stamp {
+				v.sendConsumed[from] = stamp
+				matched = true
+				v.gains[s] = append(v.gains[s], gainRec{q: r.proc, id: int32(id)})
+			}
+		}
+		if !matched {
+			v.fail(s, errClassRecv, int(r.opIdx),
+				fmt.Errorf("processor %d receives %v from %d without a matching send", r.proc, r.pb, r.peer))
+			return
+		}
+	}
+}
+
+// phaseSettle is phase 3: report the shard's unmatched sends and apply its
+// gains. Gains touch only owned bitset rows; if any shard erred this step
+// the whole validation aborts afterwards, so partially applied gains are
+// never observed.
+func (v *shardedValidator) phaseSettle(s int) {
+	stamp := v.stamp
+	bestIdx, bestFrom := int32(-1), -1
+	for q := v.lo[s]; q < v.hi[s]; q++ {
+		if v.sendStamp[q] == stamp && v.sendConsumed[q] != stamp {
+			if bestIdx < 0 || v.sendOpIdx[q] < bestIdx {
+				bestIdx, bestFrom = v.sendOpIdx[q], q
+			}
+		}
+	}
+	if bestFrom >= 0 {
+		id := int(v.sendID[bestFrom])
+		pb := Type{P: id % v.n, T: id / v.n}
+		v.fail(s, errClassSend, int(bestIdx),
+			fmt.Errorf("send of %v from %d to %d has no matching receive", pb, bestFrom, v.sendTo[bestFrom]))
+	}
+	for _, g := range v.gains[s] {
+		q, id := int(g.q), int(g.id)
+		if !v.bit(q, id) {
+			v.setBit(q, id)
+		}
+	}
+}
+
+func (v *shardedValidator) checkGenerate(q int, ty Type) error {
+	if ty.T < 1 || ty.T > v.T {
+		return fmt.Errorf("generate %v outside guest horizon [1,%d]", ty, v.T)
+	}
+	if ty.P < 0 || ty.P >= v.n {
+		return fmt.Errorf("generate %v: no such guest processor", ty)
+	}
+	base := (ty.T - 1) * v.n
+	if !v.bit(q, base+ty.P) {
+		return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, Type{P: ty.P, T: ty.T - 1})
+	}
+	for _, j := range v.sp.Guest.Neighbors(ty.P) {
+		if !v.bit(q, base+j) {
+			return fmt.Errorf("generate %v on %d: missing predecessor %v", ty, q, Type{P: j, T: ty.T - 1})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package pebble
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"universalnet/internal/graph"
+)
+
+// The streaming pipeline: protocols no longer have to exist as a
+// materialized [][]Op to be validated, minimized, replayed, or stored.
+// Builders emit host steps through a StepSink as they are scheduled, and
+// consumers pull them through a StepSource — so a protocol of 10⁸ operations
+// flows through bounded memory. A materialized Protocol remains one
+// implementation of both interfaces (Source / ProtocolSink), which is how
+// the oracle suite, JSON export, and the small-n analyses keep working
+// unchanged. See DESIGN.md §"Streaming protocol pipeline".
+
+// StepSource yields the host steps of a protocol in order. NextStep returns
+// io.EOF after the last step; any other error aborts the stream. The
+// returned slice is only valid until the next NextStep call — consumers
+// that retain steps must copy.
+type StepSource interface {
+	NextStep() ([]Op, error)
+}
+
+// StepSink consumes host steps in order. The ops slice is only valid for
+// the duration of the call — sinks that retain steps must copy (ProtocolSink
+// and ChunkedLog do).
+type StepSink interface {
+	AppendStep(ops []Op) error
+}
+
+// Spec is the frame of a protocol stream: the graphs and the guest horizon,
+// everything a consumer needs that is not in the steps themselves.
+type Spec struct {
+	Guest *graph.Graph
+	Host  *graph.Graph
+	T     int
+}
+
+// Spec returns the protocol's frame for the stream-based APIs.
+func (pr *Protocol) Spec() Spec { return Spec{Guest: pr.Guest, Host: pr.Host, T: pr.T} }
+
+// Source returns a StepSource over the materialized steps.
+func (pr *Protocol) Source() StepSource { return &protocolSource{steps: pr.Steps} }
+
+type protocolSource struct {
+	steps [][]Op
+	next  int
+}
+
+func (s *protocolSource) NextStep() ([]Op, error) {
+	if s.next >= len(s.steps) {
+		return nil, io.EOF
+	}
+	ops := s.steps[s.next]
+	s.next++
+	return ops, nil
+}
+
+// ProtocolSink materializes a stream into Proto.Steps, copying each step
+// into an exact-size slice (no append-growth slack — the same policy the
+// builders used before they streamed).
+type ProtocolSink struct {
+	Proto *Protocol
+}
+
+func (s *ProtocolSink) AppendStep(ops []Op) error {
+	step := make([]Op, len(ops))
+	copy(step, ops)
+	s.Proto.Steps = append(s.Proto.Steps, step)
+	return nil
+}
+
+// ownedSink appends the step slice as-is. Internal: only for producers that
+// hand over a freshly allocated slice per step (the pipelined builder),
+// where copying would change the builder's allocation profile for nothing.
+type ownedSink struct {
+	proto *Protocol
+}
+
+func (s *ownedSink) AppendStep(ops []Op) error {
+	s.proto.Steps = append(s.proto.Steps, ops)
+	return nil
+}
+
+// TeeSink duplicates a stream into several sinks, in order.
+func TeeSink(sinks ...StepSink) StepSink { return teeSink(sinks) }
+
+type teeSink []StepSink
+
+func (t teeSink) AppendStep(ops []Op) error {
+	for _, s := range t {
+		if err := s.AppendStep(ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Materialize drains a source into a fresh Protocol — the adapter that lets
+// Minimize, StatefulReplay, VerifyCarries, JSON export, and the oracle
+// suite keep working unchanged on chunked or piped protocols at small n.
+func Materialize(sp Spec, src StepSource) (*Protocol, error) {
+	pr := &Protocol{Guest: sp.Guest, Host: sp.Host, T: sp.T}
+	sink := &ProtocolSink{Proto: pr}
+	for {
+		ops, err := src.NextStep()
+		if err == io.EOF {
+			return pr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := sink.AppendStep(ops); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ValidateSource replays a stream against the full dense State, exactly as
+// Protocol.Validate does for materialized steps, and returns the final
+// state. Errors carry the same messages as Validate.
+func ValidateSource(sp Spec, src StepSource) (*State, error) {
+	st := NewState(sp.Guest, sp.Host, sp.T)
+	step := 0
+	for {
+		ops, err := src.NextStep()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		step++
+		if err := st.ApplyStep(ops); err != nil {
+			return nil, fmt.Errorf("pebble: host step %d: %w", step, err)
+		}
+	}
+	for i := 0; i < sp.Guest.N(); i++ {
+		if !st.hasGenerator(Type{P: i, T: sp.T}) {
+			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, sp.T)
+		}
+	}
+	return st, nil
+}
+
+// ErrPipeClosed is returned to a producer whose consumer abandoned the pipe.
+var ErrPipeClosed = errors.New("pebble: pipe closed by reader")
+
+// Pipe connects a producer goroutine (StepSink side) to a consumer
+// (StepSource side) through a fixed ring of reusable step buffers, so a
+// builder and a validator overlap with bounded protocol storage — the
+// window is the peak number of steps in flight — and zero steady-state
+// allocations per step.
+//
+// Usage: producer calls AppendStep repeatedly, then CloseSend(err).
+// Consumer calls NextStep until io.EOF (or the producer's error). A
+// consumer that stops early must call CloseRecv to unblock the producer.
+type Pipe struct {
+	// MeasureStalls enables wall-clock accounting of time the producer
+	// blocks on a full window (SendStallNs) and the consumer on an empty
+	// one (RecvStallNs). Off by default: stall times are scheduling-
+	// dependent and must stay out of deterministic experiment metrics.
+	MeasureStalls bool
+
+	slots  [][]Op
+	filled chan int32
+	free   chan int32
+	done   chan struct{}
+	err    error // producer's terminal error; read only after filled closes
+	cur    int32 // slot lent to the consumer; -1 when none
+
+	closed      atomic.Bool
+	recvClosed  atomic.Bool
+	sendStallNs atomic.Int64
+	recvStallNs atomic.Int64
+}
+
+// NewPipe returns a pipe with the given window (minimum 1) of in-flight
+// steps.
+func NewPipe(window int) *Pipe {
+	if window < 1 {
+		window = 1
+	}
+	p := &Pipe{
+		slots:  make([][]Op, window),
+		filled: make(chan int32, window),
+		free:   make(chan int32, window),
+		done:   make(chan struct{}),
+		cur:    -1,
+	}
+	for i := 0; i < window; i++ {
+		p.free <- int32(i)
+	}
+	return p
+}
+
+// AppendStep copies ops into a free slot and publishes it. It blocks while
+// the window is full and returns ErrPipeClosed if the consumer called
+// CloseRecv.
+func (p *Pipe) AppendStep(ops []Op) error {
+	var idx int32
+	select {
+	case idx = <-p.free:
+	default:
+		if p.MeasureStalls {
+			t0 := time.Now()
+			select {
+			case idx = <-p.free:
+			case <-p.done:
+				return ErrPipeClosed
+			}
+			p.sendStallNs.Add(time.Since(t0).Nanoseconds())
+		} else {
+			select {
+			case idx = <-p.free:
+			case <-p.done:
+				return ErrPipeClosed
+			}
+		}
+	}
+	buf := p.slots[idx][:0]
+	buf = append(buf, ops...)
+	p.slots[idx] = buf
+	select {
+	case p.filled <- idx:
+	case <-p.done:
+		return ErrPipeClosed
+	}
+	return nil
+}
+
+// CloseSend ends the stream. A nil err means a clean end (the consumer sees
+// io.EOF); otherwise the consumer's next NextStep returns err.
+func (p *Pipe) CloseSend(err error) {
+	if p.closed.CompareAndSwap(false, true) {
+		p.err = err
+		close(p.filled)
+	}
+}
+
+// NextStep returns the next step. The slice is valid until the following
+// NextStep call.
+func (p *Pipe) NextStep() ([]Op, error) {
+	if p.cur >= 0 {
+		select {
+		case p.free <- p.cur:
+		case <-p.done:
+		}
+		p.cur = -1
+	}
+	var idx int32
+	var ok bool
+	select {
+	case idx, ok = <-p.filled:
+	default:
+		if p.MeasureStalls {
+			t0 := time.Now()
+			idx, ok = <-p.filled
+			p.recvStallNs.Add(time.Since(t0).Nanoseconds())
+		} else {
+			idx, ok = <-p.filled
+		}
+	}
+	if !ok {
+		if p.err != nil {
+			return nil, p.err
+		}
+		return nil, io.EOF
+	}
+	p.cur = idx
+	return p.slots[idx], nil
+}
+
+// CloseRecv abandons the consumer side, unblocking a producer stuck on a
+// full window. Idempotent.
+func (p *Pipe) CloseRecv() {
+	if p.recvClosed.CompareAndSwap(false, true) {
+		close(p.done)
+	}
+}
+
+// Stalls reports the accumulated producer/consumer blocking time in
+// nanoseconds. Zero unless MeasureStalls was set before use.
+func (p *Pipe) Stalls() (sendNs, recvNs int64) {
+	return p.sendStallNs.Load(), p.recvStallNs.Load()
+}

@@ -53,21 +53,40 @@ func BenesGraph(d int) (*graph.Graph, error) {
 // packet i at level l, with paths[i][0] = i and paths[i][last] = perm[i].
 // This is the Waksman looping algorithm, applied recursively.
 func BenesPaths(d int, perm []int) ([][]int, error) {
+	// Stack scratch: the one-shot path must not pay a heap allocation for
+	// the scratch header (Paths does not leak its receiver).
+	var ps PathScratch
+	ps.init(d)
+	return ps.Paths(perm)
+}
+
+// PathScratch owns the working storage of the Waksman recursion plus the
+// path matrix, so multi-round callers (the Beneš protocol builder routes one
+// permutation per decomposition round) pay the allocations once and route
+// every round allocation-free. Not safe for concurrent use.
+type PathScratch struct {
+	d, rows, levels int
+	sc              benesScratch // by value: one header allocation, not two
+	paths           [][]int
+}
+
+// NewPathScratch allocates routing storage for dimension d.
+func NewPathScratch(d int) *PathScratch {
+	ps := &PathScratch{}
+	ps.init(d)
+	return ps
+}
+
+func (ps *PathScratch) init(d int) {
 	rows := 1 << d
-	if len(perm) != rows {
-		return nil, fmt.Errorf("routing: permutation length %d, want %d", len(perm), rows)
-	}
-	if err := checkPermutation(perm); err != nil {
-		return nil, err
-	}
 	levels := BenesLevels(d)
-	paths := make([][]int, rows)
+	ps.d, ps.rows, ps.levels = d, rows, levels
+	ps.paths = make([][]int, rows)
 	buf := make([]int, rows*levels)
-	for i := range paths {
-		paths[i] = buf[i*levels : (i+1)*levels : (i+1)*levels]
-		paths[i][0] = i
+	for i := range ps.paths {
+		ps.paths[i] = buf[i*levels : (i+1)*levels : (i+1)*levels]
 	}
-	sc := &benesScratch{
+	ps.sc = benesScratch{
 		inMate:   make([]int32, rows),
 		outMate:  make([]int32, rows),
 		inStamp:  make([]int32, rows),
@@ -76,16 +95,32 @@ func BenesPaths(d int, perm []int) ([][]int, error) {
 		arena:    make([]int, 3*rows*d),
 		rows:     rows,
 	}
-	ids := sc.arena[0:rows]
-	cur := sc.arena[rows : 2*rows]
-	dst := sc.arena[2*rows : 3*rows]
-	for i := 0; i < rows; i++ {
+}
+
+// Paths routes perm and returns the path family. The result reuses the
+// scratch's storage: it is only valid until the next Paths call (BenesPaths
+// wraps a fresh scratch for callers that need to retain it). Every level of
+// every path is rewritten on each call, so no stale state leaks between
+// permutations.
+func (ps *PathScratch) Paths(perm []int) ([][]int, error) {
+	if len(perm) != ps.rows {
+		return nil, fmt.Errorf("routing: permutation length %d, want %d", len(perm), ps.rows)
+	}
+	if err := checkPermutation(perm); err != nil {
+		return nil, err
+	}
+	sc := &ps.sc
+	ids := sc.arena[0:ps.rows]
+	cur := sc.arena[ps.rows : 2*ps.rows]
+	dst := sc.arena[2*ps.rows : 3*ps.rows]
+	for i := 0; i < ps.rows; i++ {
+		ps.paths[i][0] = i
 		ids[i] = i
 		cur[i] = i
 		dst[i] = perm[i]
 	}
-	benesFill(paths, ids, cur, dst, 0, levels-1, 0, d, sc, 0)
-	return paths, nil
+	benesFill(ps.paths, ids, cur, dst, 0, ps.levels-1, 0, ps.d, sc, 0)
+	return ps.paths, nil
 }
 
 // benesScratch holds the reusable working storage of one BenesPaths call.

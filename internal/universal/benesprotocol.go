@@ -8,22 +8,30 @@ import (
 	"universalnet/internal/routing"
 )
 
-// BuildBenesProtocol realizes Theorem 2.1's offline construction at the
-// pebble-op level: a validated protocol on the wrapped Beneš host whose
-// transfer schedule is the Waksman path family itself. Per guest step:
-//
-//	generation phase   — each level-0 node generates its guests' pebbles
-//	                     sequentially (⌈n/rows⌉ steps);
-//	transfer phase     — the fixed row relation, decomposed once into ≤ h
-//	                     permutation rounds; round k's packets enter the
-//	                     pipeline at offset 2k and advance one level per
-//	                     step (a node receives at one step and sends at the
-//	                     next, so the one-op-per-processor rule holds);
-//	                     total 2(R−1) + 2d steps for R rounds.
-//
-// The step count is deterministic — the "known in advance" routing of §2 —
-// and the resulting protocol passes Validate and VerifyCarries.
-func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Protocol, error) {
+// benesPlan is the precomputed schedule shared by the materializing and
+// streaming Beneš builders: the generation order, the demand list, the
+// routed permutation rounds, and the exact per-offset op counts (identical
+// for every guest step).
+type benesPlan struct {
+	d, rows, levels int
+	guestsOf        [][]int
+	maxLoad         int
+	demandGuest     []int // demand index → guest whose pebble moves
+	roundMoves      [][]benesMove
+	genCount        []int
+	transferCount   []int
+	transferLen     int
+}
+
+type benesMove struct {
+	demandIdx int
+	path      []int // row at each Beneš level
+	dstRow    int
+}
+
+func (p *benesPlan) node(level, row int) int { return routing.BenesNode(p.d, level, row) }
+
+func planBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*benesPlan, error) {
 	if T < 1 {
 		return nil, fmt.Errorf("universal: need T ≥ 1")
 	}
@@ -79,22 +87,21 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 		key := [2]int{dm.srcRow, dm.dstRow}
 		queues[key] = append(queues[key], di)
 	}
-	type move struct {
-		demandIdx int
-		path      []int // row at each Beneš level
-		dstRow    int
-	}
-	var roundMoves [][]move
+	// One routing scratch reused across rounds; the path rows a round
+	// actually uses are copied out of it into a shared arena.
+	ps := routing.NewPathScratch(d)
+	var pathArena []int
+	var roundMoves [][]benesMove
 	for _, round := range rounds {
 		perm := completeRowPermutation(rows, round)
-		paths, err := routing.BenesPaths(d, perm)
+		paths, err := ps.Paths(perm)
 		if err != nil {
 			return nil, err
 		}
 		if err := routing.VerifyBenesPaths(d, perm, paths); err != nil {
 			return nil, err
 		}
-		var moves []move
+		var moves []benesMove
 		for _, pr := range round {
 			key := [2]int{pr.Src, pr.Dst}
 			q := queues[key]
@@ -103,7 +110,9 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 			}
 			di := q[0]
 			queues[key] = q[1:]
-			moves = append(moves, move{demandIdx: di, path: paths[pr.Src], dstRow: pr.Dst})
+			at := len(pathArena)
+			pathArena = append(pathArena, paths[pr.Src]...)
+			moves = append(moves, benesMove{demandIdx: di, path: pathArena[at : at+levels : at+levels], dstRow: pr.Dst})
 		}
 		roundMoves = append(roundMoves, moves)
 	}
@@ -112,8 +121,6 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 			return nil, fmt.Errorf("universal: %d demands for pair %v uncovered", len(q), key)
 		}
 	}
-
-	node := func(level, row int) int { return routing.BenesNode(d, level, row) }
 
 	// Per-offset op counts are the same for every guest step, so compute them
 	// once and presize each step slice exactly: generation step r holds one op
@@ -136,8 +143,41 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 		}
 	}
 
+	demandGuest := make([]int, len(demands))
+	for di, dm := range demands {
+		demandGuest[di] = dm.guest
+	}
+	return &benesPlan{
+		d: d, rows: rows, levels: levels,
+		guestsOf: guestsOf, maxLoad: maxLoad,
+		demandGuest: demandGuest, roundMoves: roundMoves,
+		genCount: genCount, transferCount: transferCount, transferLen: transferLen,
+	}, nil
+}
+
+// BuildBenesProtocol realizes Theorem 2.1's offline construction at the
+// pebble-op level: a validated protocol on the wrapped Beneš host whose
+// transfer schedule is the Waksman path family itself. Per guest step:
+//
+//	generation phase   — each level-0 node generates its guests' pebbles
+//	                     sequentially (⌈n/rows⌉ steps);
+//	transfer phase     — the fixed row relation, decomposed once into ≤ h
+//	                     permutation rounds; round k's packets enter the
+//	                     pipeline at offset 2k and advance one level per
+//	                     step (a node receives at one step and sends at the
+//	                     next, so the one-op-per-processor rule holds);
+//	                     total 2(R−1) + 2d steps for R rounds.
+//
+// The step count is deterministic — the "known in advance" routing of §2 —
+// and the resulting protocol passes Validate and VerifyCarries.
+func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Protocol, error) {
+	plan, err := planBenesProtocol(guest, bh, T)
+	if err != nil {
+		return nil, err
+	}
+	levels := plan.levels
 	pr := &pebble.Protocol{Guest: guest, Host: bh.Graph, T: T}
-	pr.Steps = make([][]pebble.Op, 0, T*maxLoad+(T-1)*transferLen)
+	pr.Steps = make([][]pebble.Op, 0, T*plan.maxLoad+(T-1)*plan.transferLen)
 	appendStep := func(base, offset, sizeHint int, ops ...pebble.Op) {
 		idx := base + offset
 		for len(pr.Steps) <= idx {
@@ -152,42 +192,42 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 	base := 0
 	for t := 1; t <= T; t++ {
 		// Generation phase.
-		for r := 0; r < maxLoad; r++ {
-			for q := 0; q < rows; q++ {
-				if r < len(guestsOf[q]) {
-					appendStep(base, r, genCount[r], pebble.Op{
-						Kind: pebble.Generate, Proc: node(0, q),
-						Pebble: pebble.Type{P: guestsOf[q][r], T: t},
+		for r := 0; r < plan.maxLoad; r++ {
+			for q := 0; q < plan.rows; q++ {
+				if r < len(plan.guestsOf[q]) {
+					appendStep(base, r, plan.genCount[r], pebble.Op{
+						Kind: pebble.Generate, Proc: plan.node(0, q),
+						Pebble: pebble.Type{P: plan.guestsOf[q][r], T: t},
 					})
 				}
 			}
 		}
-		base += maxLoad
+		base += plan.maxLoad
 		if t == T {
 			break
 		}
 		// Transfer phase, pipelined: round k's hop j happens at offset 2k+j.
-		for k, moves := range roundMoves {
+		for k, moves := range plan.roundMoves {
 			for _, mv := range moves {
-				pb := pebble.Type{P: demands[mv.demandIdx].guest, T: t}
+				pb := pebble.Type{P: plan.demandGuest[mv.demandIdx], T: t}
 				// Beneš hops: level j → j+1 along the Waksman path.
 				for j := 0; j+1 < levels; j++ {
-					from := node(j, mv.path[j])
-					to := node(j+1, mv.path[j+1])
-					appendStep(base, 2*k+j, transferCount[2*k+j],
+					from := plan.node(j, mv.path[j])
+					to := plan.node(j+1, mv.path[j+1])
+					appendStep(base, 2*k+j, plan.transferCount[2*k+j],
 						pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
 						pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
 				}
 				// Wrap hop: last level → level 0 of the destination row.
-				from := node(levels-1, mv.path[levels-1])
-				to := node(0, mv.dstRow)
-				appendStep(base, 2*k+levels-1, transferCount[2*k+levels-1],
+				from := plan.node(levels-1, mv.path[levels-1])
+				to := plan.node(0, mv.dstRow)
+				appendStep(base, 2*k+levels-1, plan.transferCount[2*k+levels-1],
 					pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
 					pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
 			}
 		}
-		if len(roundMoves) > 0 {
-			base += 2*(len(roundMoves)-1) + levels
+		if len(plan.roundMoves) > 0 {
+			base += 2*(len(plan.roundMoves)-1) + levels
 		}
 	}
 	// Trim any trailing empty steps (none expected, but keep tight).
@@ -195,4 +235,73 @@ func BuildBenesProtocol(guest *graph.Graph, bh *BenesHost, T int) (*pebble.Proto
 		pr.Steps = pr.Steps[:len(pr.Steps)-1]
 	}
 	return pr, nil
+}
+
+// StreamBenesProtocol emits the same schedule as BuildBenesProtocol through
+// sink, buffering only one guest step's phase window at a time (the
+// interleaved round offsets require it) and reusing those buffers across
+// guest steps — memory is one phase window, not the whole protocol.
+func StreamBenesProtocol(guest *graph.Graph, bh *BenesHost, T int, sink pebble.StepSink) error {
+	plan, err := planBenesProtocol(guest, bh, T)
+	if err != nil {
+		return err
+	}
+	levels := plan.levels
+	genSteps := make([][]pebble.Op, plan.maxLoad)
+	for r := range genSteps {
+		genSteps[r] = make([]pebble.Op, 0, plan.genCount[r])
+	}
+	transferSteps := make([][]pebble.Op, plan.transferLen)
+	for o := range transferSteps {
+		transferSteps[o] = make([]pebble.Op, 0, plan.transferCount[o])
+	}
+	flush := func(steps [][]pebble.Op) error {
+		for o := range steps {
+			if err := sink.AppendStep(steps[o]); err != nil {
+				return err
+			}
+			steps[o] = steps[o][:0]
+		}
+		return nil
+	}
+
+	for t := 1; t <= T; t++ {
+		for r := 0; r < plan.maxLoad; r++ {
+			for q := 0; q < plan.rows; q++ {
+				if r < len(plan.guestsOf[q]) {
+					genSteps[r] = append(genSteps[r], pebble.Op{
+						Kind: pebble.Generate, Proc: plan.node(0, q),
+						Pebble: pebble.Type{P: plan.guestsOf[q][r], T: t},
+					})
+				}
+			}
+		}
+		if err := flush(genSteps); err != nil {
+			return err
+		}
+		if t == T {
+			break
+		}
+		for k, moves := range plan.roundMoves {
+			for _, mv := range moves {
+				pb := pebble.Type{P: plan.demandGuest[mv.demandIdx], T: t}
+				for j := 0; j+1 < levels; j++ {
+					from := plan.node(j, mv.path[j])
+					to := plan.node(j+1, mv.path[j+1])
+					transferSteps[2*k+j] = append(transferSteps[2*k+j],
+						pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
+						pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
+				}
+				from := plan.node(levels-1, mv.path[levels-1])
+				to := plan.node(0, mv.dstRow)
+				transferSteps[2*k+levels-1] = append(transferSteps[2*k+levels-1],
+					pebble.Op{Kind: pebble.Send, Proc: from, Pebble: pb, Peer: to},
+					pebble.Op{Kind: pebble.Receive, Proc: to, Pebble: pb, Peer: from})
+			}
+		}
+		if err := flush(transferSteps); err != nil {
+			return err
+		}
+	}
+	return nil
 }

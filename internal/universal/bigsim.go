@@ -1,0 +1,105 @@
+package universal
+
+import (
+	"universalnet/internal/graph"
+	"universalnet/internal/obs"
+	"universalnet/internal/pebble"
+)
+
+// Big-n streaming simulation: builder and validator run as a two-stage
+// pipeline connected by a bounded pebble.Pipe, so the protocol never exists
+// as a whole — the working set is the pipe window plus the validator's
+// possession bitsets (and, optionally, the chunked archive's resident
+// window). This is the path that takes E1-style validation to n = 10⁶ guest
+// processors on laptop RAM.
+
+// StreamRunConfig tunes the streaming pipeline.
+type StreamRunConfig struct {
+	// Shards is the validator parallelism (clamped to [1, m]); 0 means 1.
+	Shards int
+	// Window is the pipe depth in steps; 0 means 4.
+	Window int
+	// Chunks, when non-nil, receives a tee of the step stream — the archive
+	// that can later be written out with WriteBinary or re-validated.
+	Chunks *pebble.ChunkedLog
+	// Obs, when non-nil, receives the validator's deterministic counters and
+	// the chunk storage gauges.
+	Obs *obs.Registry
+	// MeasureStalls turns on wall-clock pipeline stall accounting. The stall
+	// gauges are scheduling-dependent, so experiments keep this off; the CLI
+	// turns it on for humans watching a run.
+	MeasureStalls bool
+}
+
+// StreamRunReport summarizes one streaming build+validate run.
+type StreamRunReport struct {
+	N, M, T      int
+	MaxLoad      int
+	HostSteps    int
+	Ops          int64
+	Slowdown     float64
+	Inefficiency float64
+	// Pipeline stalls (nonzero only with MeasureStalls).
+	SendStallNs, RecvStallNs int64
+	// Chunk storage profile (nonzero only with a chunk tee).
+	EncodedBytes, PeakChunkBytes, SpilledBytes int64
+}
+
+// RunStreamingEmbedding builds the queued embedding schedule for guest on
+// host under assignment f (nil = balanced) and validates it concurrently
+// through the sharded streaming validator. The builder goroutine feeds the
+// pipe; validation failure abandons the pipe, which unblocks and stops the
+// builder — no goroutine outlives the call.
+func RunStreamingEmbedding(guest, host *graph.Graph, f []int, T int, cfg StreamRunConfig) (*StreamRunReport, error) {
+	n, m := guest.N(), host.N()
+	if f == nil {
+		f = pebble.BalancedAssignment(n, m)
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 4
+	}
+	pipe := pebble.NewPipe(window)
+	pipe.MeasureStalls = cfg.MeasureStalls
+
+	var sink pebble.StepSink = pipe
+	if cfg.Chunks != nil {
+		sink = pebble.TeeSink(cfg.Chunks, pipe)
+	}
+	builderDone := make(chan struct{})
+	go func() {
+		defer close(builderDone)
+		pipe.CloseSend(pebble.StreamQueuedEmbeddingProtocol(guest, host, f, T, sink))
+	}()
+
+	sp := pebble.Spec{Guest: guest, Host: host, T: T}
+	stats, err := pebble.ValidateSharded(sp, pipe, pebble.ShardedOptions{Shards: cfg.Shards, Obs: cfg.Obs})
+	pipe.CloseRecv()
+	<-builderDone
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &StreamRunReport{
+		N: n, M: m, T: T,
+		MaxLoad:      pebble.MaxLoad(f, m),
+		HostSteps:    stats.HostSteps,
+		Ops:          stats.Ops,
+		Slowdown:     stats.Slowdown(T),
+		Inefficiency: stats.Slowdown(T) * float64(m) / float64(n),
+	}
+	rep.SendStallNs, rep.RecvStallNs = pipe.Stalls()
+	if cfg.Obs != nil && cfg.MeasureStalls {
+		cfg.Obs.Gauge("pebble.pipe.send_stall_ns").SetMax(rep.SendStallNs)
+		cfg.Obs.Gauge("pebble.pipe.recv_stall_ns").SetMax(rep.RecvStallNs)
+	}
+	if cfg.Chunks != nil {
+		rep.EncodedBytes = cfg.Chunks.TotalBytes()
+		rep.PeakChunkBytes = cfg.Chunks.PeakResidentBytes()
+		rep.SpilledBytes = cfg.Chunks.SpilledBytes()
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge("pebble.chunk.resident_peak_bytes").SetMax(rep.PeakChunkBytes)
+		}
+	}
+	return rep, nil
+}

@@ -125,6 +125,43 @@ var (
 	MinimizeProtocol = pebble.MinimizeProtocol
 )
 
+// Streaming protocol pipeline (DESIGN.md §7): builders emit steps into a
+// StepSink, validators consume a StepSource, and the protocol never needs to
+// be materialized — the path that takes validation to n = 10⁶ guests.
+type (
+	// StepSource yields protocol steps one host step at a time.
+	StepSource = pebble.StepSource
+	// StepSink receives protocol steps as they are produced.
+	StepSink = pebble.StepSink
+	// ProtocolSpec carries the (guest, host, T) frame of a step stream.
+	ProtocolSpec = pebble.Spec
+	// ChunkedLog is the spill-able varint-encoded protocol archive.
+	ChunkedLog = pebble.ChunkedLog
+	// ChunkedLogOptions tunes a ChunkedLog's chunk size and memory budget.
+	ChunkedLogOptions = pebble.ChunkedLogOptions
+	// StreamRunConfig tunes RunStreamingEmbedding.
+	StreamRunConfig = universal.StreamRunConfig
+	// StreamRunReport summarizes one streaming build+validate run.
+	StreamRunReport = universal.StreamRunReport
+)
+
+var (
+	// ValidateSharded checks a step stream against the pebble-game rules with
+	// possession-bitset shards, using memory independent of op count.
+	ValidateSharded = pebble.ValidateSharded
+	// RunStreamingEmbedding runs builder and sharded validator as a
+	// concurrent pipeline over a bounded step pipe.
+	RunStreamingEmbedding = universal.RunStreamingEmbedding
+	// NewStepPipe creates the bounded builder→validator step channel.
+	NewStepPipe = pebble.NewPipe
+	// NewChunkedLog creates a chunked protocol archive with a memory budget.
+	NewChunkedLog = pebble.NewChunkedLog
+	// WriteProtocolBinary writes a step stream in the compact binary format.
+	WriteProtocolBinary = pebble.WriteBinary
+	// ReadProtocolBinary reads a binary protocol back into materialized form.
+	ReadProtocolBinary = pebble.ReadBinary
+)
+
 // Dependency graphs (Definition 3.7) and trees (Lemma 3.10).
 type (
 	// DepNode is a vertex (P, t) of Γ_G.
