@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke bigsim-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke cluster-smoke bigsim-smoke report examples cover clean
 
 # Explicit bench-compare tolerances (percent growth allowed per metric). CI
 # and local runs share these so the gate's verdict is reproducible.
@@ -70,6 +70,14 @@ bigsim-smoke:
 # burst (see scripts/load_smoke.sh).
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# Fault-tolerance smoke: three serve nodes in a full mesh, warm forwarded
+# traffic, then a seeded SIGKILL of one node mid-run. Every request must
+# succeed (survivors fail over to local compute), responses must stay
+# consistent, and survivors must report the dead peer open-circuited (see
+# scripts/cluster_smoke.sh).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Run the full E1..E24 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.

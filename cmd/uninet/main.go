@@ -88,7 +88,8 @@ commands:
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
   report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E24 suite)
-  serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]   (suite + live metrics + /v1 service)
+  serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]
+             [-peers A1,A2] [-advertise A] [-heartbeat D] [-no-local-fallback] [-cluster-faults NAME]   (suite + live metrics + /v1 service; -peers = sharded cluster node)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"universalnet/internal/cluster"
 	"universalnet/internal/experiments"
 	"universalnet/internal/faults"
 	"universalnet/internal/obs"
@@ -61,6 +62,11 @@ func cmdServe(args []string) error {
 	once := fs.Bool("once", false, "exit when the suite completes instead of serving until interrupted")
 	queue := fs.Int("queue", 0, "service admission-queue depth; 0 = 4×workers")
 	serviceWorkers := fs.Int("service-workers", 0, "service worker-pool size; 0 = GOMAXPROCS")
+	peers := fs.String("peers", "", "comma-separated peer addresses (host:port); enables cluster mode")
+	advertise := fs.String("advertise", "", "address peers know this node by (default: the listen address)")
+	heartbeat := fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms)")
+	noFallback := fs.Bool("no-local-fallback", false, "surface forwarding failures as 502 instead of serving locally")
+	clusterFaults := fs.String("cluster-faults", "", "named forward-fault scenario: "+strings.Join(faults.ClusterScenarioNames(), "|")+" (drop/delay rates apply to this node's forwards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +82,21 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	var plan *faults.ClusterPlan
+	if *clusterFaults != "" {
+		// Only the drop/delay rates matter in-process; node kill events are
+		// the chaos driver's job (uninetload -chaos). Nominal horizon.
+		plan, err = faults.ClusterScenario(*clusterFaults, *faultSeed, len(peerList)+1, 60_000)
+		if err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -83,12 +104,18 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	return runServe(ctx, ln, exps, cfg, serveOpts{
-		parallel:       *parallel,
-		timeout:        *timeout,
-		tracePath:      *tracePath,
-		once:           *once,
-		queue:          *queue,
-		serviceWorkers: *serviceWorkers,
+		parallel:        *parallel,
+		timeout:         *timeout,
+		tracePath:       *tracePath,
+		once:            *once,
+		queue:           *queue,
+		serviceWorkers:  *serviceWorkers,
+		peers:           peerList,
+		advertise:       *advertise,
+		heartbeat:       *heartbeat,
+		noLocalFallback: *noFallback,
+		clusterPlan:     plan,
+		clusterSeed:     *faultSeed,
 	}, os.Stdout)
 }
 
@@ -105,6 +132,20 @@ type serveOpts struct {
 	// the listener is torn down, so in-flight keep-alive connections see an
 	// explicit rejection instead of racing shutdown. 0 = a short default.
 	drainGrace time.Duration
+	// peers enables cluster mode: the /v1 service routes by consistent-hash
+	// ownership over advertise ∪ peers, forwarding non-owned keys.
+	peers []string
+	// advertise is the name peers know this node by ("" = listener address).
+	advertise string
+	// heartbeat is the peer-probe interval (0 = cluster default).
+	heartbeat time.Duration
+	// noLocalFallback surfaces forwarding failures as 502 instead of local
+	// compute.
+	noLocalFallback bool
+	// clusterPlan optionally injects deterministic forward faults.
+	clusterPlan *faults.ClusterPlan
+	// clusterSeed drives the forward backoff jitter.
+	clusterSeed int64
 }
 
 // runServe is the listener-injectable core of cmdServe: it serves metrics
@@ -134,6 +175,36 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		Obs:        reg,
 	})
 
+	// Cluster mode: /v1 requests route by consistent-hash ownership across
+	// self ∪ peers; non-owned keys are forwarded with retries and a per-peer
+	// circuit breaker, degrading to local compute when the owner is gone.
+	v1 := http.Handler(service.Handler(svc))
+	var node *cluster.Node
+	if len(opts.peers) > 0 {
+		self := opts.advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		ccfg := cluster.Config{
+			Self:           self,
+			Peers:          opts.peers,
+			HeartbeatEvery: opts.heartbeat,
+			Seed:           opts.clusterSeed,
+			Obs:            reg,
+		}
+		if opts.clusterPlan.Active() {
+			ccfg.Faults = opts.clusterPlan
+		}
+		node, err = cluster.NewNode(ccfg)
+		if err != nil {
+			ln.Close()
+			sink.Close()
+			return err
+		}
+		v1 = service.ClusterHandler(svc, node, service.ClusterOptions{NoLocalFallback: opts.noLocalFallback})
+		node.Start()
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -147,7 +218,7 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(liveRegistry.Load().Snapshot())
 	})
-	mux.Handle("/v1/", service.Handler(svc))
+	mux.Handle("/v1/", v1)
 
 	// draining gates every endpoint (not just /v1): once shutdown begins,
 	// new requests on existing connections get an explicit 503.
@@ -156,6 +227,9 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(out, "uninet serve: service on http://%s/v1/ (metrics /metrics, expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+	if node != nil {
+		fmt.Fprintf(out, "uninet serve: cluster node %s, peers %s\n", node.Self(), strings.Join(opts.peers, ","))
+	}
 
 	r := &experiments.Runner{Workers: opts.parallel, Timeout: opts.timeout, Obs: reg, Trace: sink}
 	results, runErr := r.Run(ctx, exps, cfg)
@@ -175,6 +249,11 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	// elapse so clients mid-keep-alive see the rejection, and drain the
 	// service's queued work. A fresh context: the trigger ctx is typically
 	// already canceled, and in-flight requests deserve a grace period.
+	// Heartbeats stop first; in-flight forwards are unaffected and finish
+	// under the server's own Shutdown wait.
+	if node != nil {
+		node.Close()
+	}
 	draining.Store(true)
 	grace := opts.drainGrace
 	if grace == 0 {

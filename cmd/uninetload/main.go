@@ -16,6 +16,17 @@
 // the process exit nonzero. Latencies are recorded both exactly (for
 // p50/p95/p99/max) and into an obs histogram whose snapshot rides along in
 // the -json report next to the server's own /v1/status.
+//
+// Cluster mode (-peers A1,A2,...) spreads requests round-robin across the
+// nodes with client-side failover: a transport error moves the request to
+// the next peer instead of failing it. The report then splits by serving
+// node and by route (X-Uninet-Route: local|forwarded|fallback), and every
+// 200 response is consistency-checked — two answers for the same request
+// tuple must be byte-identical (modulo the cached flag), whichever node
+// computed them; any divergence is an error. The chaos soak (-chaos NAME
+// with -pids P1,P2,... aligned to -peers) replays a seeded
+// faults.ClusterScenario against the live cluster, SIGKILLing victims on
+// schedule mid-run while the generator keeps firing.
 package main
 
 import (
@@ -27,11 +38,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"universalnet/internal/faults"
 	"universalnet/internal/obs"
+	"universalnet/internal/service"
 )
 
 // opts bundles the generator's knobs.
@@ -54,8 +68,16 @@ type opts struct {
 
 	jsonOut bool
 
+	peers     []string
+	chaos     string
+	chaosSeed int64
+	pids      []int
+
 	assertRejections bool
 	assertCacheHits  bool
+	assertForwards   bool
+	assertFailovers  bool
+	assertMaxP99MS   float64
 }
 
 func main() {
@@ -76,9 +98,31 @@ func main() {
 	fs.Int64Var(&o.seedBase, "seed-base", 1, "first seed of the cycle")
 	fs.IntVar(&o.deadline, "deadline-ms", 0, "per-request deadline in ms (0 = server default)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON on stdout")
+	peers := fs.String("peers", "", "comma-separated cluster node addresses; round-robin with client-side failover")
+	fs.StringVar(&o.chaos, "chaos", "", "cluster chaos scenario: "+strings.Join(faults.ClusterScenarioNames(), "|")+" (kill events need -pids)")
+	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed of the chaos scenario's deterministic schedule")
+	pids := fs.String("pids", "", "comma-separated server PIDs aligned with -peers, targets of chaos kill events")
 	fs.BoolVar(&o.assertRejections, "assert-rejections", false, "exit nonzero unless at least one request was rejected (429)")
 	fs.BoolVar(&o.assertCacheHits, "assert-cache-hits", false, "exit nonzero unless the server reports result-cache hits")
+	fs.BoolVar(&o.assertForwards, "assert-forwards", false, "exit nonzero unless at least one response was peer-forwarded")
+	fs.BoolVar(&o.assertFailovers, "assert-failovers", false, "exit nonzero unless at least one response was a local fallback")
+	fs.Float64Var(&o.assertMaxP99MS, "assert-max-p99-ms", 0, "exit nonzero when p99 latency exceeds this many ms (0 = off)")
 	_ = fs.Parse(os.Args[1:])
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			o.peers = append(o.peers, p)
+		}
+	}
+	if *pids != "" {
+		for _, s := range strings.Split(*pids, ",") {
+			pid, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uninetload: bad -pids entry:", err)
+				os.Exit(2)
+			}
+			o.pids = append(o.pids, pid)
+		}
+	}
 
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "uninetload:", err)
@@ -97,6 +141,22 @@ type outcome struct {
 	status    int // 0 = transport error
 	cached    bool
 	err       error
+	target    string // node the request was (finally) sent to
+	route     string // X-Uninet-Route: local|forwarded|fallback ("" single-node)
+	key       string // request tuple, the consistency-check unit
+	body      []byte // 200 response body (consistency fingerprinting)
+	failovers int    // client-side peer switches before an answer
+}
+
+// nodeReport is one serving node's latency/volume split in cluster mode.
+type nodeReport struct {
+	Node     string  `json:"node"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
 }
 
 // report is the end-of-run summary (also the -json document).
@@ -115,8 +175,18 @@ type report struct {
 	P99MS      float64 `json:"p99_ms"`
 	MaxMS      float64 `json:"max_ms"`
 
-	Client *obs.Snapshot   `json:"client,omitempty"`
-	Server json.RawMessage `json:"server,omitempty"`
+	// Cluster-mode splits: how the 200s were served, per X-Uninet-Route.
+	RouteLocal      int          `json:"route_local,omitempty"`
+	RouteForwarded  int          `json:"route_forwarded,omitempty"`
+	RouteFallback   int          `json:"route_fallback,omitempty"`
+	ClientFailovers int          `json:"client_failovers,omitempty"`
+	Inconsistent    int          `json:"inconsistent,omitempty"`
+	PerNode         []nodeReport `json:"per_node,omitempty"`
+	ChaosApplied    []string     `json:"chaos_applied,omitempty"`
+
+	Client  *obs.Snapshot              `json:"client,omitempty"`
+	Server  json.RawMessage            `json:"server,omitempty"`
+	Servers map[string]json.RawMessage `json:"servers,omitempty"`
 }
 
 func run(o opts, out io.Writer) error {
@@ -133,11 +203,28 @@ func run(o opts, out io.Writer) error {
 	if o.seeds < 1 {
 		o.seeds = 1
 	}
-	base := o.addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	targets := []string{normalizeBase(o.addr)}
+	if len(o.peers) > 0 {
+		targets = targets[:0]
+		for _, p := range o.peers {
+			targets = append(targets, normalizeBase(p))
+		}
 	}
-	base = strings.TrimRight(base, "/")
+	if o.chaos != "" && len(o.peers) == 0 {
+		return fmt.Errorf("-chaos requires -peers")
+	}
+	var plan *faults.ClusterPlan
+	if o.chaos != "" {
+		var err error
+		plan, err = faults.ClusterScenario(o.chaos, o.chaosSeed, len(targets), int(o.duration.Milliseconds()))
+		if err != nil {
+			return err
+		}
+		if len(plan.Events) > 0 && len(o.pids) != len(targets) {
+			return fmt.Errorf("-chaos %s schedules node events: need -pids with one PID per peer (%d peers, %d pids)",
+				o.chaos, len(targets), len(o.pids))
+		}
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	reg := obs.New()
@@ -171,6 +258,37 @@ func run(o opts, out io.Writer) error {
 
 	start := time.Now()
 	stop := start.Add(o.duration)
+	fire := func(i int64) outcome {
+		return shootFailover(client, targets, o, i)
+	}
+
+	// The chaos driver replays the plan's node events against the live
+	// cluster while traffic flows.
+	var chaosApplied []string
+	var chaosMu sync.Mutex
+	chaosDone := make(chan struct{})
+	if plan != nil && len(plan.Events) > 0 {
+		go func() {
+			defer close(chaosDone)
+			for _, ev := range plan.Events {
+				at := start.Add(time.Duration(ev.AtMS) * time.Millisecond)
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+				if time.Now().After(stop) {
+					return
+				}
+				note := applyNodeEvent(ev, o.pids, o.peers)
+				chaosMu.Lock()
+				chaosApplied = append(chaosApplied, note)
+				chaosMu.Unlock()
+				fmt.Fprintln(os.Stderr, "uninetload: chaos:", note)
+			}
+		}()
+	} else {
+		close(chaosDone)
+	}
+
 	var wg sync.WaitGroup
 	if o.mode == "closed" {
 		for w := 0; w < o.c; w++ {
@@ -178,7 +296,7 @@ func run(o opts, out io.Writer) error {
 			go func() {
 				defer wg.Done()
 				for time.Now().Before(stop) {
-					record(shoot(client, base, o, next()))
+					record(fire(next()))
 				}
 			}()
 		}
@@ -194,17 +312,30 @@ func run(o opts, out io.Writer) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(shoot(client, base, o, next()))
+				record(fire(next()))
 			}()
 		}
 	}
 	wg.Wait()
+	<-chaosDone
 	elapsed := time.Since(start)
 
 	rep := summarize(o, outcomes, elapsed)
+	chaosMu.Lock()
+	rep.ChaosApplied = chaosApplied
+	chaosMu.Unlock()
 	rep.Client = reg.Snapshot()
-	if raw, err := fetchStatus(client, base); err == nil {
-		rep.Server = raw
+	if len(targets) == 1 {
+		if raw, err := fetchStatus(client, targets[0]); err == nil {
+			rep.Server = raw
+		}
+	} else {
+		rep.Servers = make(map[string]json.RawMessage)
+		for i, t := range targets {
+			if raw, err := fetchStatus(client, t); err == nil {
+				rep.Servers[o.peers[i]] = raw
+			}
+		}
 	}
 
 	if o.jsonOut {
@@ -220,11 +351,30 @@ func run(o opts, out io.Writer) error {
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d requests failed", rep.Errors)
 	}
+	if rep.Inconsistent > 0 {
+		return fmt.Errorf("%d inconsistent responses: the same request tuple got different answers", rep.Inconsistent)
+	}
 	if o.assertRejections && rep.Rejected == 0 {
 		return fmt.Errorf("assert-rejections: no request was rejected (429)")
 	}
+	if o.assertForwards && rep.RouteForwarded == 0 {
+		return fmt.Errorf("assert-forwards: no response was peer-forwarded")
+	}
+	if o.assertFailovers && rep.RouteFallback == 0 {
+		return fmt.Errorf("assert-failovers: no response was served as a local fallback")
+	}
+	if o.assertMaxP99MS > 0 && rep.P99MS > o.assertMaxP99MS {
+		return fmt.Errorf("assert-max-p99-ms: p99 %.3fms exceeds bound %.3fms", rep.P99MS, o.assertMaxP99MS)
+	}
 	if o.assertCacheHits {
-		hits, err := serverCacheHits(rep.Server)
+		raw := rep.Server
+		if len(raw) == 0 {
+			for _, s := range rep.Servers {
+				raw = s
+				break
+			}
+		}
+		hits, err := serverCacheHits(raw)
 		if err != nil {
 			return fmt.Errorf("assert-cache-hits: %w", err)
 		}
@@ -233,6 +383,56 @@ func run(o opts, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// normalizeBase turns host:port or a URL into a scheme-qualified base.
+func normalizeBase(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// applyNodeEvent executes one chaos event against the live cluster. Kill is
+// SIGKILL — no warning, no drain, exactly the failure mode the failover path
+// exists for. Restart needs a supervisor and is reported unapplied.
+func applyNodeEvent(ev faults.NodeEvent, pids []int, peers []string) string {
+	name := fmt.Sprintf("node %d", ev.Node)
+	if ev.Node < len(peers) {
+		name = peers[ev.Node]
+	}
+	if ev.Kind != "kill" {
+		return fmt.Sprintf("%s @%dms on %s skipped (needs an external supervisor)", ev.Kind, ev.AtMS, name)
+	}
+	if ev.Node >= len(pids) {
+		return fmt.Sprintf("kill @%dms on %s skipped (no PID)", ev.AtMS, name)
+	}
+	proc, err := os.FindProcess(pids[ev.Node])
+	if err == nil {
+		err = proc.Kill()
+	}
+	if err != nil {
+		return fmt.Sprintf("kill @%dms on %s (pid %d) failed: %v", ev.AtMS, name, pids[ev.Node], err)
+	}
+	return fmt.Sprintf("killed %s (pid %d) @%dms", name, pids[ev.Node], ev.AtMS)
+}
+
+// shootFailover fires request i at its round-robin target, moving to the
+// next peer on a transport error — the client-side half of fault tolerance:
+// a dead node costs one connection refusal, not a failed request. Any HTTP
+// response settles the request (the serving tier already did its own
+// forwarding/fallback).
+func shootFailover(client *http.Client, targets []string, o opts, i int64) outcome {
+	first := int(i % int64(len(targets)))
+	var oc outcome
+	for k := 0; k < len(targets); k++ {
+		oc = shoot(client, targets[(first+k)%len(targets)], o, i)
+		oc.failovers = k
+		if oc.err == nil {
+			return oc
+		}
+	}
+	return oc
 }
 
 // shoot fires one request and measures it. The i-th request derives its
@@ -262,14 +462,46 @@ func shoot(client *http.Client, base string, o opts, i int64) outcome {
 	resp, err := client.Post(base+"/v1/"+kind, "application/json", bytes.NewReader(buf))
 	lat := time.Since(t0).Microseconds()
 	if err != nil {
-		return outcome{latencyUS: lat, err: err}
+		return outcome{latencyUS: lat, err: err, target: base}
 	}
 	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var res struct {
 		Cached bool `json:"cached"`
 	}
-	_ = json.NewDecoder(resp.Body).Decode(&res)
-	return outcome{latencyUS: lat, status: resp.StatusCode, cached: res.Cached}
+	_ = json.Unmarshal(raw, &res)
+	node := resp.Header.Get(service.HeaderNode)
+	if node == "" {
+		node = base
+	}
+	oc := outcome{
+		latencyUS: lat,
+		status:    resp.StatusCode,
+		cached:    res.Cached,
+		target:    node,
+		route:     resp.Header.Get(service.HeaderRoute),
+		key:       fmt.Sprintf("%s|%d", kind, seed),
+	}
+	if resp.StatusCode == http.StatusOK {
+		oc.body = raw
+	}
+	return oc
+}
+
+// fingerprint canonicalizes a 200 response body for the consistency check:
+// the decoded document minus the fields that legitimately differ by serving
+// path (cache state), re-marshaled with Go's sorted map keys.
+func fingerprint(body []byte) string {
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return string(body)
+	}
+	delete(doc, "cached")
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return string(body)
+	}
+	return string(out)
 }
 
 // summarize folds the raw outcomes into the report. Percentiles are exact
@@ -282,7 +514,14 @@ func summarize(o opts, outcomes []outcome, elapsed time.Duration) report {
 		Requests:  len(outcomes),
 	}
 	var lats []int64
+	perNode := map[string][]int64{}
+	perNodeTotal := map[string]int{}
+	first := map[string]string{} // request tuple → first fingerprint seen
 	for _, oc := range outcomes {
+		if oc.target != "" {
+			perNodeTotal[oc.target]++
+		}
+		rep.ClientFailovers += oc.failovers
 		switch {
 		case oc.status == http.StatusOK:
 			rep.OK++
@@ -290,6 +529,23 @@ func summarize(o opts, outcomes []outcome, elapsed time.Duration) report {
 				rep.Cached++
 			}
 			lats = append(lats, oc.latencyUS)
+			perNode[oc.target] = append(perNode[oc.target], oc.latencyUS)
+			switch oc.route {
+			case "forwarded":
+				rep.RouteForwarded++
+			case "fallback":
+				rep.RouteFallback++
+			case "local":
+				rep.RouteLocal++
+			}
+			if oc.key != "" && len(oc.body) > 0 {
+				fp := fingerprint(oc.body)
+				if prev, ok := first[oc.key]; !ok {
+					first[oc.key] = fp
+				} else if prev != fp {
+					rep.Inconsistent++
+				}
+			}
 		case oc.status == http.StatusTooManyRequests:
 			rep.Rejected++
 		default:
@@ -305,6 +561,25 @@ func summarize(o opts, outcomes []outcome, elapsed time.Duration) report {
 		rep.P95MS = float64(quantile(lats, 0.95)) / 1000
 		rep.P99MS = float64(quantile(lats, 0.99)) / 1000
 		rep.MaxMS = float64(lats[len(lats)-1]) / 1000
+	}
+	if len(o.peers) > 0 {
+		nodes := make([]string, 0, len(perNodeTotal))
+		for n := range perNodeTotal {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			ls := perNode[n]
+			nr := nodeReport{Node: n, Requests: perNodeTotal[n], OK: len(ls)}
+			if len(ls) > 0 {
+				sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+				nr.P50MS = float64(quantile(ls, 0.50)) / 1000
+				nr.P95MS = float64(quantile(ls, 0.95)) / 1000
+				nr.P99MS = float64(quantile(ls, 0.99)) / 1000
+				nr.MaxMS = float64(ls[len(ls)-1]) / 1000
+			}
+			rep.PerNode = append(rep.PerNode, nr)
+		}
 	}
 	return rep
 }
@@ -331,6 +606,17 @@ func printReport(out io.Writer, rep report) {
 		rep.OK, rep.Cached, rep.Rejected, rep.Errors)
 	fmt.Fprintf(out, "  latency ms  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
 		rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	if len(rep.PerNode) > 0 {
+		fmt.Fprintf(out, "  routes  local %d  forwarded %d  fallback %d  client-failovers %d  inconsistent %d\n",
+			rep.RouteLocal, rep.RouteForwarded, rep.RouteFallback, rep.ClientFailovers, rep.Inconsistent)
+		for _, nr := range rep.PerNode {
+			fmt.Fprintf(out, "  node %-22s %5d req  %5d ok  p50 %.3f  p99 %.3f  max %.3f\n",
+				nr.Node, nr.Requests, nr.OK, nr.P50MS, nr.P99MS, nr.MaxMS)
+		}
+	}
+	for _, note := range rep.ChaosApplied {
+		fmt.Fprintf(out, "  chaos  %s\n", note)
+	}
 }
 
 // fetchStatus grabs the server's /v1/status document verbatim.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSummarizeClusterSplits: route counts, per-node percentiles, client
+// failovers, and the consistency check all fold out of raw outcomes.
+func TestSummarizeClusterSplits(t *testing.T) {
+	o := opts{endpoint: "simulate", mode: "closed", peers: []string{"a:1", "b:2"}}
+	ocs := []outcome{
+		{status: 200, latencyUS: 1000, target: "a:1", route: "local", key: "simulate|1", body: []byte(`{"checksum":7,"cached":false}`)},
+		{status: 200, latencyUS: 3000, target: "b:2", route: "forwarded", key: "simulate|1", body: []byte(`{"checksum":7,"cached":true}`), cached: true},
+		{status: 200, latencyUS: 2000, target: "a:1", route: "fallback", key: "simulate|2", body: []byte(`{"checksum":9,"cached":false}`), failovers: 1},
+		{status: 429, latencyUS: 100, target: "b:2"},
+		{status: 0, latencyUS: 50, target: "a:1", err: http.ErrHandlerTimeout},
+	}
+	rep := summarize(o, ocs, time.Second)
+	if rep.OK != 3 || rep.Rejected != 1 || rep.Errors != 1 || rep.Cached != 1 {
+		t.Fatalf("ok/rejected/errors/cached = %d/%d/%d/%d", rep.OK, rep.Rejected, rep.Errors, rep.Cached)
+	}
+	if rep.RouteLocal != 1 || rep.RouteForwarded != 1 || rep.RouteFallback != 1 {
+		t.Fatalf("route splits = %d/%d/%d", rep.RouteLocal, rep.RouteForwarded, rep.RouteFallback)
+	}
+	if rep.ClientFailovers != 1 {
+		t.Fatalf("client failovers = %d, want 1", rep.ClientFailovers)
+	}
+	if rep.Inconsistent != 0 {
+		t.Fatalf("inconsistent = %d: identical checksums must agree despite cached flag", rep.Inconsistent)
+	}
+	if len(rep.PerNode) != 2 || rep.PerNode[0].Node != "a:1" || rep.PerNode[1].Node != "b:2" {
+		t.Fatalf("per-node rows = %+v", rep.PerNode)
+	}
+	if rep.PerNode[0].Requests != 3 || rep.PerNode[0].OK != 2 {
+		t.Fatalf("node a:1 = %+v, want 3 req / 2 ok", rep.PerNode[0])
+	}
+	if rep.PerNode[1].MaxMS != 3.0 {
+		t.Fatalf("node b:2 max = %v ms, want 3.0", rep.PerNode[1].MaxMS)
+	}
+}
+
+// TestSummarizeInconsistent: two different answers for one request tuple —
+// the split-brain symptom the chaos soak exists to rule out — must be
+// counted.
+func TestSummarizeInconsistent(t *testing.T) {
+	o := opts{peers: []string{"a:1"}}
+	ocs := []outcome{
+		{status: 200, latencyUS: 1, target: "a:1", key: "simulate|1", body: []byte(`{"checksum":7}`)},
+		{status: 200, latencyUS: 1, target: "a:1", key: "simulate|1", body: []byte(`{"checksum":8}`)},
+	}
+	if rep := summarize(o, ocs, time.Second); rep.Inconsistent != 1 {
+		t.Fatalf("inconsistent = %d, want 1", rep.Inconsistent)
+	}
+}
+
+// TestFingerprint pins the canonicalization: the cached flag is ignored,
+// field order is not significant, and any payload difference shows.
+func TestFingerprint(t *testing.T) {
+	a := fingerprint([]byte(`{"checksum":7,"cached":true,"host":"torus"}`))
+	b := fingerprint([]byte(`{"host":"torus","cached":false,"checksum":7}`))
+	if a != b {
+		t.Fatalf("equivalent bodies fingerprint differently:\n%s\n%s", a, b)
+	}
+	if c := fingerprint([]byte(`{"checksum":8,"host":"torus"}`)); c == a {
+		t.Fatal("different checksums collide")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	lats := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.0, 10}} {
+		if got := quantile(lats, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty slice must yield 0")
+	}
+}

@@ -16,10 +16,18 @@ package cache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"universalnet/internal/obs"
 )
+
+// ErrComputePanicked is returned to followers coalesced onto a flight whose
+// compute function panicked. The panic itself propagates on the leader's
+// goroutine; followers get this error instead of blocking forever, and the
+// flight is removed so a later call retries.
+var ErrComputePanicked = errors.New("cache: compute panicked")
 
 // Cache is a byte-budgeted LRU keyed by K. The zero value is not usable;
 // construct with New.
@@ -177,8 +185,25 @@ func (c *Cache[K, V]) add(key K, value V) {
 // it. Concurrent calls for the same key are coalesced: one caller computes,
 // the others wait and share the outcome. Successful results are stored
 // (subject to the byte budget); errors are returned to every waiter and
-// nothing is cached, so a later call retries.
+// nothing is cached, so a later call retries. A panicking compute settles
+// the flight with ErrComputePanicked before propagating, so followers and
+// future callers never block on a dead flight.
 func (c *Cache[K, V]) GetOrCompute(key K, compute func() (V, error)) (V, error) {
+	return c.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with a caller-scoped wait: a follower
+// whose ctx ends while coalesced onto another caller's flight returns
+// ctx.Err() immediately and abandons the wait — the flight itself is
+// unaffected, and the eventual result is still cached for everyone else.
+// The ctx does NOT cancel the compute function: the elected leader runs it
+// to completion regardless, because its result is shared with followers
+// whose contexts are still live. Compute functions should therefore not
+// capture the leader's request context — a leader cancelled mid-compute
+// would poison every coalesced follower with an error that belongs to one
+// caller. (The service layer runs computes on detached workers for exactly
+// this reason.)
+func (c *Cache[K, V]) GetOrComputeCtx(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	var zero V
 	if c == nil {
 		return compute()
@@ -194,7 +219,11 @@ func (c *Cache[K, V]) GetOrCompute(key K, compute func() (V, error)) (V, error) 
 	if fl, ok := c.inflight[key]; ok {
 		c.count(".coalesced")
 		c.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 		if fl.err != nil {
 			return zero, fl.err
 		}
@@ -205,7 +234,22 @@ func (c *Cache[K, V]) GetOrCompute(key K, compute func() (V, error)) (V, error) 
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		// compute panicked. Settle the flight — followers unblock with
+		// ErrComputePanicked and the key retries fresh later — then let the
+		// panic continue up the leader's stack.
+		fl.err = ErrComputePanicked
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.val, fl.err = compute()
+	settled = true
 
 	c.mu.Lock()
 	delete(c.inflight, key)

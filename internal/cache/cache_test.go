@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,133 @@ func TestGetOrComputeErrorNotCached(t *testing.T) {
 	}
 	if v, _ = c.GetOrCompute("k", func() (int, error) { calls++; return 0, boom }); v != 7 || calls != 2 {
 		t.Fatal("successful result not served from cache")
+	}
+}
+
+// TestGetOrComputePanicSettlesFlight is the leak half of the ISSUE's
+// singleflight audit: a panicking compute must not strand the in-flight
+// entry. Followers coalesced onto the doomed flight get ErrComputePanicked
+// instead of blocking forever, the panic still propagates on the leader's
+// goroutine, and a later call for the same key computes fresh.
+func TestGetOrComputePanicSettlesFlight(t *testing.T) {
+	c := New[string, int]("test", 100, nil, obs.New())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		c.GetOrCompute("k", func() (int, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	<-entered
+
+	const followers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrCompute("k", func() (int, error) {
+				t.Error("follower elected leader while flight open")
+				return 0, nil
+			})
+			errs <- err
+		}()
+	}
+	// Give the followers a moment to coalesce onto the flight, then blow it up.
+	for c.Stats().Coalesced < followers {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrComputePanicked) {
+			t.Errorf("follower err = %v, want ErrComputePanicked", err)
+		}
+	}
+	if r := <-leaderDone; r != "compute exploded" {
+		t.Errorf("leader panic = %v, want propagated", r)
+	}
+	// The flight must be gone: a fresh call computes and caches normally.
+	v, err := c.GetOrCompute("k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("post-panic retry = %d, %v; want 5, nil", v, err)
+	}
+}
+
+// TestGetOrComputeCtxFollowerCancel: a follower whose context ends while
+// waiting on another caller's flight returns promptly with ctx.Err(), and
+// its departure does not disturb the flight — the leader's result is still
+// cached and served to patient callers.
+func TestGetOrComputeCtxFollowerCancel(t *testing.T) {
+	c := New[string, int]("test", 100, nil, obs.New())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := c.GetOrCompute("k", func() (int, error) {
+			close(entered)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader = %d, %v; want 42, nil", v, err)
+		}
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrComputeCtx(ctx, "k", func() (int, error) {
+			t.Error("cancelled follower elected leader")
+			return 0, nil
+		})
+		impatient <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-impatient:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower still blocked on the flight")
+	}
+
+	close(release)
+	wg.Wait()
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("leader result not cached after follower abandoned: %d, %v", v, ok)
+	}
+}
+
+// TestGetOrComputeCtxLeaderScope pins the documented contract that ctx
+// governs only the follower wait: a caller holding an already-cancelled
+// context that is elected leader still computes (its result may serve
+// followers with live contexts).
+func TestGetOrComputeCtxLeaderScope(t *testing.T) {
+	c := New[string, int]("test", 100, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := c.GetOrComputeCtx(ctx, "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("cancelled leader = %d, %v; want 9, nil (ctx scopes the wait, not the compute)", v, err)
+	}
+	if v, ok := c.Get("k"); !ok || v != 9 {
+		t.Fatal("cancelled leader's result not cached")
 	}
 }
 

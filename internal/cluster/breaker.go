@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"universalnet/internal/obs"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int
+
+const (
+	// BreakerClosed: the peer is healthy; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer failed too often; requests are refused locally
+	// until OpenTimeout elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the timeout elapsed; exactly one probe request is
+	// allowed through to test the peer.
+	BreakerHalfOpen
+)
+
+// String names the state for status documents and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig sizes a Breaker. Zero values pick defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens the
+	// breaker; 0 ⇒ 3.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before allowing a
+	// half-open probe; 0 ⇒ 2s.
+	OpenTimeout time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: closed → (N consecutive failures)
+// → open → (OpenTimeout on the injected clock) → half-open → one probe →
+// closed on success, open again on failure. It fails fast while open, so an
+// unreachable owner costs the forwarding node nothing after the first few
+// attempts — the request degrades to local compute instead of waiting out
+// another connection timeout.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	clock    obs.Clock
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a closed breaker on the given clock (nil ⇒ system).
+func NewBreaker(cfg BreakerConfig, clock obs.Clock) *Breaker {
+	if clock == nil {
+		clock = obs.SystemClock()
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Allow reports whether a request may be sent to the peer now. In the open
+// state it transitions to half-open once OpenTimeout has elapsed and admits
+// exactly one probe; concurrent callers during the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// OnSuccess records a successful request: half-open closes, closed resets
+// the consecutive-failure count.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// OnFailure records a failed request. Reports whether this failure opened
+// the breaker (for transition accounting).
+func (b *Breaker) OnFailure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to open for another full timeout.
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.probing = false
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.clock.Now()
+			return true
+		}
+	}
+	return false
+}
+
+// State reads the current state (resolving an elapsed open timeout to
+// half-open is left to Allow; State reports the stored state).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// stepClock is a manually advanced test clock.
+type stepClock struct{ t time.Time }
+
+func (c *stepClock) Now() time.Time { return c.t }
+
+func (c *stepClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerLifecycle walks the whole state machine on a manual clock:
+// closed → open after the failure threshold, fail-fast while open,
+// half-open single probe after the timeout, probe failure → open again,
+// probe success → closed.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second}, clk)
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Two failures: still closed (threshold is 3).
+	b.OnFailure()
+	if opened := b.OnFailure(); opened || b.State() != BreakerClosed {
+		t.Fatalf("opened after 2/3 failures (state %s)", b.State())
+	}
+	// A success resets the streak; two more failures still don't open.
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("consecutive-failure count not reset by success")
+	}
+	// Third consecutive failure opens.
+	if opened := b.OnFailure(); !opened || b.State() != BreakerOpen {
+		t.Fatalf("not open after threshold (state %s)", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before the timeout")
+	}
+	// Timeout elapses: exactly one probe allowed.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	// Probe fails: open again for a fresh timeout.
+	if opened := b.OnFailure(); !opened || b.State() != BreakerOpen {
+		t.Fatalf("failed probe did not reopen (state %s)", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a request immediately")
+	}
+	// Next timeout, probe succeeds: closed, allowing freely again.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed || !b.Allow() || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// TestBreakerDefaults: the zero config resolves to usable defaults on the
+// system clock.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{}, nil)
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("default threshold should be 3")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("3rd failure should open with default config")
+	}
+}
+
+// TestBreakerStateString covers the names used in status documents.
+func TestBreakerStateString(t *testing.T) {
+	for want, s := range map[string]BreakerState{
+		"closed": BreakerClosed, "open": BreakerOpen, "half-open": BreakerHalfOpen,
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

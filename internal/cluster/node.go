@@ -1,0 +1,535 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"universalnet/internal/obs"
+)
+
+// ErrPeerUnreachable reports that a forward could not be completed: the
+// owner's breaker is open, or every attempt within the retry budget failed
+// at the transport level. The HTTP layer maps it to 502 when local fallback
+// is disabled (or also fails).
+var ErrPeerUnreachable = errors.New("cluster: peer unreachable")
+
+// HealthPath is the lightweight liveness endpoint heartbeats probe.
+const HealthPath = "/v1/health"
+
+// ForwardedHeader marks a forwarded request; a node receiving it always
+// serves locally, so a forward is at most one hop and rehashing races
+// cannot create routing loops.
+const ForwardedHeader = "X-Uninet-Forwarded"
+
+// PeerState is a peer's health as seen by this node.
+type PeerState int
+
+const (
+	// PeerAlive: heartbeats are answering.
+	PeerAlive PeerState = iota
+	// PeerSuspect: at least one heartbeat missed, fewer than FailAfter.
+	// Suspect peers keep their ring ownership (a blip must not rehash the
+	// keyspace) but are one failure streak from removal.
+	PeerSuspect
+	// PeerDown: FailAfter consecutive heartbeats missed; the peer is out of
+	// the ring until a heartbeat succeeds again.
+	PeerDown
+)
+
+// String names the state.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// ForwardFaults injects deterministic faults into the forwarding path:
+// Fate(seq) decides, purely from the forward-attempt sequence number,
+// whether attempt seq is dropped (treated as a transport failure) and how
+// long it is delayed first. faults.ClusterPlan implements it; nil injects
+// nothing.
+type ForwardFaults interface {
+	Fate(seq int64) (drop bool, delay time.Duration)
+}
+
+// Config sizes a Node. Zero values pick defaults.
+type Config struct {
+	// Self is this node's advertised address (host:port) — the name peers
+	// and the ring know it by. Required.
+	Self string
+	// Peers are the other nodes' advertised addresses. Self is filtered
+	// out; the ring is built over Self ∪ Peers.
+	Peers []string
+	// Replicas is the virtual-node count per member; 0 ⇒ DefaultReplicas.
+	Replicas int
+	// HeartbeatEvery is the probe interval of the background loop;
+	// 0 ⇒ 500ms.
+	HeartbeatEvery time.Duration
+	// FailAfter is the consecutive missed heartbeats that mark a peer
+	// down; 0 ⇒ 2.
+	FailAfter int
+	// ForwardTimeout is the per-hop deadline of one forward attempt (and
+	// of heartbeat probes); 0 ⇒ 2s.
+	ForwardTimeout time.Duration
+	// Retries bounds re-attempts after a transport failure, so one forward
+	// makes at most Retries+1 attempts; 0 ⇒ 2. Negative ⇒ no retries.
+	Retries int
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between attempts; 0 ⇒ 25ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+	// Breaker configures the per-peer circuit breakers.
+	Breaker BreakerConfig
+	// Obs receives cluster.* metrics. May be nil.
+	Obs *obs.Registry
+	// Clock times breaker transitions and peer bookkeeping; nil ⇒ system.
+	Clock obs.Clock
+	// Client issues forwards and heartbeats; nil ⇒ a fresh http.Client.
+	Client *http.Client
+	// Faults optionally injects deterministic forward faults.
+	Faults ForwardFaults
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = obs.SystemClock()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// peer is one remote node's tracked state.
+type peer struct {
+	addr    string
+	state   PeerState
+	missed  int
+	breaker *Breaker
+}
+
+// Node is this process's view of the cluster: the live membership, one
+// circuit breaker per peer, and the consistent-hash ring over the members
+// currently believed alive. Construct with NewNode; Start launches the
+// heartbeat loop; Close stops it.
+type Node struct {
+	cfg   Config
+	obs   *obs.Registry
+	clock obs.Clock
+
+	mu    sync.RWMutex
+	peers map[string]*peer
+	ring  *Ring
+
+	seq atomic.Int64 // forward-attempt sequence: jitter + fault channel
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewNode builds a Node. All peers start alive (optimistic membership: a
+// cold cluster routes immediately; breakers and heartbeats demote peers
+// that turn out to be dead).
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	n := &Node{
+		cfg:   cfg,
+		obs:   cfg.Obs,
+		clock: cfg.Clock,
+		peers: make(map[string]*peer),
+		stop:  make(chan struct{}),
+	}
+	for _, addr := range cfg.Peers {
+		if addr == "" || addr == cfg.Self {
+			continue
+		}
+		if _, ok := n.peers[addr]; ok {
+			continue
+		}
+		n.peers[addr] = &peer{
+			addr:    addr,
+			state:   PeerAlive,
+			breaker: NewBreaker(cfg.Breaker, cfg.Clock),
+		}
+	}
+	n.rebuildRingLocked()
+	n.obs.Gauge("cluster.peers").Set(int64(len(n.peers)))
+	return n, nil
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// rebuildRingLocked rebuilds the ring over self plus every peer not Down.
+// Caller holds n.mu (or is the constructor).
+func (n *Node) rebuildRingLocked() {
+	members := make([]string, 0, len(n.peers)+1)
+	members = append(members, n.cfg.Self)
+	for _, p := range n.peers {
+		if p.state != PeerDown {
+			members = append(members, p.addr)
+		}
+	}
+	n.ring = NewRing(n.cfg.Replicas, members)
+	n.obs.Counter("cluster.ring_rebuilds").Inc()
+	n.obs.Gauge("cluster.ring_members").Set(int64(n.ring.Len()))
+}
+
+// Owner maps a cache key to the address of the member owning it under the
+// current membership. In-flight forwards that resolved an owner before a
+// rehash keep their resolved owner — the ring swap never invalidates them.
+func (n *Node) Owner(key string) string {
+	n.mu.RLock()
+	r := n.ring
+	n.mu.RUnlock()
+	return r.Owner(key)
+}
+
+// BreakerState reports the named peer's breaker state (closed for unknown
+// peers, which never get forwards anyway).
+func (n *Node) BreakerState(addr string) BreakerState {
+	n.mu.RLock()
+	p := n.peers[addr]
+	n.mu.RUnlock()
+	if p == nil {
+		return BreakerClosed
+	}
+	return p.breaker.State()
+}
+
+// Start launches the background heartbeat loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(n.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ForwardTimeout)
+				n.HeartbeatOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops the heartbeat loop and waits for it. Idempotent; forwarding
+// remains usable afterwards (the drain path stops heartbeats first, then
+// lets in-flight forwards finish).
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// HeartbeatOnce probes every peer's HealthPath once, in sorted address
+// order (deterministic bookkeeping), and updates membership: a success
+// revives the peer, FailAfter consecutive misses take it out of the ring.
+// Exported so tests drive health deterministically without the background
+// loop.
+func (n *Node) HeartbeatOnce(ctx context.Context) {
+	n.mu.RLock()
+	addrs := make([]string, 0, len(n.peers))
+	for a := range n.peers {
+		addrs = append(addrs, a)
+	}
+	n.mu.RUnlock()
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		ok := n.probe(ctx, addr)
+		n.recordHeartbeat(addr, ok)
+	}
+}
+
+// probe issues one health GET against addr.
+func (n *Node) probe(ctx context.Context, addr string) bool {
+	hctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, "http://"+addr+HealthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// recordHeartbeat folds one probe outcome into membership, rebuilding the
+// ring on alive↔down transitions.
+func (n *Node) recordHeartbeat(addr string, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peers[addr]
+	if p == nil {
+		return
+	}
+	if ok {
+		n.obs.Counter("cluster.heartbeat_ok").Inc()
+		wasDown := p.state == PeerDown
+		p.state = PeerAlive
+		p.missed = 0
+		if wasDown {
+			n.obs.Counter("cluster.peer_up").Inc()
+			n.rebuildRingLocked()
+		}
+		return
+	}
+	n.obs.Counter("cluster.heartbeat_miss").Inc()
+	p.missed++
+	if p.missed >= n.cfg.FailAfter {
+		if p.state != PeerDown {
+			p.state = PeerDown
+			n.obs.Counter("cluster.peer_down").Inc()
+			n.rebuildRingLocked()
+		}
+	} else if p.state == PeerAlive {
+		p.state = PeerSuspect
+	}
+}
+
+// ForwardResponse is the owner's answer, relayed verbatim.
+type ForwardResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	Attempts    int
+}
+
+// maxForwardBody bounds a relayed response body.
+const maxForwardBody = 1 << 20
+
+// Forward relays a POST body to the owner with per-hop deadlines, bounded
+// retries on transport failures, and jittered exponential backoff. Any HTTP
+// response — including 4xx/5xx — is a successful forward from the breaker's
+// point of view (the peer is reachable); only transport failures (and
+// injected drops) count against the breaker and the retry budget. Returns
+// ErrPeerUnreachable (wrapped) when the breaker is open or every attempt
+// failed.
+func (n *Node) Forward(ctx context.Context, owner, path string, body []byte) (*ForwardResponse, error) {
+	n.mu.RLock()
+	p := n.peers[owner]
+	n.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w: %s is not a known peer", ErrPeerUnreachable, owner)
+	}
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= n.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			n.obs.Counter("cluster.forward_retries").Inc()
+			if err := n.sleepBackoff(ctx, attempt); err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, owner, err)
+			}
+		}
+		// Allow comes after the backoff sleep: once it admits an attempt
+		// (possibly the single half-open probe), every exit path below
+		// resolves it via OnSuccess/OnFailure, so the breaker can never be
+		// left stuck mid-probe.
+		if !p.breaker.Allow() {
+			n.obs.Counter("cluster.breaker_rejected").Inc()
+			if lastErr == nil {
+				lastErr = fmt.Errorf("breaker %s", p.breaker.State())
+			}
+			break
+		}
+		attempts++
+		n.obs.Counter("cluster.forward_attempts").Inc()
+		seq := n.seq.Add(1)
+		if n.cfg.Faults != nil {
+			drop, delay := n.cfg.Faults.Fate(seq)
+			if delay > 0 {
+				n.obs.Counter("cluster.forward_delayed_injected").Inc()
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					n.onForwardFailure(p)
+					return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, owner, ctx.Err())
+				}
+			}
+			if drop {
+				n.obs.Counter("cluster.forward_dropped_injected").Inc()
+				lastErr = fmt.Errorf("injected drop (seq %d)", seq)
+				n.onForwardFailure(p)
+				continue
+			}
+		}
+		resp, err := n.post(ctx, owner, path, body)
+		if err != nil {
+			lastErr = err
+			n.onForwardFailure(p)
+			continue
+		}
+		p.breaker.OnSuccess()
+		n.obs.Counter("cluster.forwarded").Inc()
+		resp.Attempts = attempts
+		return resp, nil
+	}
+	n.obs.Counter("cluster.forward_failures").Inc()
+	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrPeerUnreachable, owner, attempts, lastErr)
+}
+
+// post issues one forward attempt under the per-hop deadline.
+func (n *Node) post(ctx context.Context, owner, path string, body []byte) (*ForwardResponse, error) {
+	hctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return nil, err
+	}
+	return &ForwardResponse{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        b,
+	}, nil
+}
+
+// onForwardFailure records one transport failure against the peer's breaker.
+func (n *Node) onForwardFailure(p *peer) {
+	if p.breaker.OnFailure() {
+		n.obs.Counter("cluster.breaker_opened").Inc()
+	}
+}
+
+// sleepBackoff waits the jittered exponential backoff before retry
+// `attempt` (attempt ≥ 1). The jitter is a pure function of (seed,
+// sequence, attempt): deterministic per run position, decorrelated across
+// concurrent forwards.
+func (n *Node) sleepBackoff(ctx context.Context, attempt int) error {
+	d := n.cfg.BackoffBase << (attempt - 1)
+	if d > n.cfg.BackoffMax {
+		d = n.cfg.BackoffMax
+	}
+	h := splitmix64(uint64(n.cfg.Seed))
+	h = splitmix64(h ^ uint64(n.seq.Load())<<16)
+	h = splitmix64(h ^ uint64(attempt))
+	u := float64(h>>11) / float64(1<<53)
+	d = time.Duration(float64(d) * (0.5 + 0.5*u))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CountServedLocal records a request this node answered from its own
+// service because it owns the key.
+func (n *Node) CountServedLocal() { n.obs.Counter("cluster.served_local").Inc() }
+
+// CountFailover records a request answered locally because the owner was
+// unreachable or rejecting — the cluster's graceful degradation.
+func (n *Node) CountFailover() { n.obs.Counter("cluster.failover_local").Inc() }
+
+// PeerStatus is one peer's row in the status document.
+type PeerStatus struct {
+	Addr    string `json:"addr"`
+	State   string `json:"state"`
+	Breaker string `json:"breaker"`
+	Missed  int    `json:"missed"`
+}
+
+// Status is the cluster block of /v1/status.
+type Status struct {
+	Self            string       `json:"self"`
+	RingMembers     []string     `json:"ring_members"`
+	Peers           []PeerStatus `json:"peers"`
+	Forwarded       int64        `json:"forwarded"`
+	ForwardRetries  int64        `json:"forward_retries"`
+	ForwardFailures int64        `json:"forward_failures"`
+	ServedLocal     int64        `json:"served_local"`
+	FailoverLocal   int64        `json:"failover_local"`
+	BreakerOpened   int64        `json:"breaker_opened"`
+	PeerDownEvents  int64        `json:"peer_down_events"`
+}
+
+// Status reads the point-in-time cluster summary. Peers are sorted by
+// address; counter values are zero when no registry is attached.
+func (n *Node) Status() Status {
+	n.mu.RLock()
+	peers := make([]PeerStatus, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, PeerStatus{
+			Addr:    p.addr,
+			State:   p.state.String(),
+			Breaker: p.breaker.State().String(),
+			Missed:  p.missed,
+		})
+	}
+	members := n.ring.Members()
+	n.mu.RUnlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Addr < peers[j].Addr })
+	return Status{
+		Self:            n.cfg.Self,
+		RingMembers:     members,
+		Peers:           peers,
+		Forwarded:       n.obs.Counter("cluster.forwarded").Value(),
+		ForwardRetries:  n.obs.Counter("cluster.forward_retries").Value(),
+		ForwardFailures: n.obs.Counter("cluster.forward_failures").Value(),
+		ServedLocal:     n.obs.Counter("cluster.served_local").Value(),
+		FailoverLocal:   n.obs.Counter("cluster.failover_local").Value(),
+		BreakerOpened:   n.obs.Counter("cluster.breaker_opened").Value(),
+		PeerDownEvents:  n.obs.Counter("cluster.peer_down").Value(),
+	}
+}

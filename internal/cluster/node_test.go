@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"universalnet/internal/obs"
+)
+
+// newTestPeer starts an httptest server answering HealthPath (200/500 per
+// the healthy flag) and echoing POSTs, and returns its host:port address.
+func newTestPeer(t *testing.T, healthy *atomic.Bool) (string, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == HealthPath {
+			if healthy == nil || healthy.Load() {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				w.WriteHeader(http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Got-Forwarded", r.Header.Get(ForwardedHeader))
+		w.Write([]byte(`{"echo":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://"), srv
+}
+
+// TestNodeHeartbeatMembership drives health transitions deterministically:
+// a failing peer goes suspect after one miss, down (and out of the ring)
+// after FailAfter, and rejoins when its health returns.
+func TestNodeHeartbeatMembership(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	addr, _ := newTestPeer(t, &healthy)
+
+	n, err := NewNode(Config{
+		Self:           "self:1",
+		Peers:          []string{addr},
+		FailAfter:      2,
+		ForwardTimeout: time.Second,
+		Obs:            obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	n.HeartbeatOnce(ctx)
+	if st := n.Status(); st.Peers[0].State != "alive" {
+		t.Fatalf("peer state %s, want alive", st.Peers[0].State)
+	}
+	if got := n.Status().RingMembers; len(got) != 2 {
+		t.Fatalf("ring members %v, want 2", got)
+	}
+
+	healthy.Store(false)
+	n.HeartbeatOnce(ctx)
+	if st := n.Status(); st.Peers[0].State != "suspect" {
+		t.Fatalf("peer state %s after 1 miss, want suspect", st.Peers[0].State)
+	}
+	if got := n.Status().RingMembers; len(got) != 2 {
+		t.Fatalf("suspect peer evicted from ring early: %v", got)
+	}
+	n.HeartbeatOnce(ctx)
+	st := n.Status()
+	if st.Peers[0].State != "down" {
+		t.Fatalf("peer state %s after FailAfter misses, want down", st.Peers[0].State)
+	}
+	if len(st.RingMembers) != 1 || st.RingMembers[0] != "self:1" {
+		t.Fatalf("down peer still in ring: %v", st.RingMembers)
+	}
+	if st.PeerDownEvents == 0 {
+		t.Error("peer_down counter not bumped")
+	}
+	// Every key now belongs to self: ownership walked down the size axis.
+	if owner := n.Owner("any-key"); owner != "self:1" {
+		t.Fatalf("owner %q with all peers down, want self", owner)
+	}
+
+	healthy.Store(true)
+	n.HeartbeatOnce(ctx)
+	st = n.Status()
+	if st.Peers[0].State != "alive" || len(st.RingMembers) != 2 {
+		t.Fatalf("revived peer not back: state=%s ring=%v", st.Peers[0].State, st.RingMembers)
+	}
+}
+
+// dropFaults injects a transport drop for the first N forward attempts.
+type dropFaults struct{ until int64 }
+
+func (d *dropFaults) Fate(seq int64) (bool, time.Duration) {
+	return seq <= d.until, 0
+}
+
+// TestNodeForwardRetriesThroughDrops: injected drops on the first attempts
+// must be retried (with backoff) until the budget allows a clean attempt.
+func TestNodeForwardRetriesThroughDrops(t *testing.T) {
+	addr, _ := newTestPeer(t, nil)
+	reg := obs.New()
+	n, err := NewNode(Config{
+		Self:        "self:1",
+		Peers:       []string{addr},
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Obs:         reg,
+		Faults:      &dropFaults{until: 2},
+		Breaker:     BreakerConfig{FailureThreshold: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Forward(context.Background(), addr, "/v1/simulate", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Forward through 2 drops: %v", err)
+	}
+	if resp.Status != http.StatusOK || resp.Attempts != 3 {
+		t.Fatalf("status %d attempts %d, want 200 after 3 attempts", resp.Status, resp.Attempts)
+	}
+	if got := reg.Counter("cluster.forward_retries").Value(); got != 2 {
+		t.Errorf("forward_retries = %d, want 2", got)
+	}
+	if got := reg.Counter("cluster.forward_dropped_injected").Value(); got != 2 {
+		t.Errorf("forward_dropped_injected = %d, want 2", got)
+	}
+}
+
+// TestNodeForwardBreakerFailFast: with the peer gone, the retry budget is
+// exhausted, the breaker opens, and the next forward fails fast without
+// attempts.
+func TestNodeForwardBreakerFailFast(t *testing.T) {
+	addr, srv := newTestPeer(t, nil)
+	srv.Close() // peer dead: every attempt is a transport failure
+	reg := obs.New()
+	n, err := NewNode(Config{
+		Self:           "self:1",
+		Peers:          []string{addr},
+		Retries:        2,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		ForwardTimeout: 200 * time.Millisecond,
+		Obs:            reg,
+		Breaker:        BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = n.Forward(context.Background(), addr, "/v1/simulate", []byte(`{}`))
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v, want ErrPeerUnreachable", err)
+	}
+	if st := n.BreakerState(addr); st != BreakerOpen {
+		t.Fatalf("breaker %s after 3 transport failures, want open", st)
+	}
+	attemptsBefore := reg.Counter("cluster.forward_attempts").Value()
+	_, err = n.Forward(context.Background(), addr, "/v1/simulate", []byte(`{}`))
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v, want ErrPeerUnreachable from open breaker", err)
+	}
+	if got := reg.Counter("cluster.forward_attempts").Value(); got != attemptsBefore {
+		t.Errorf("open breaker still attempted forwards (%d → %d)", attemptsBefore, got)
+	}
+	if got := reg.Counter("cluster.breaker_rejected").Value(); got == 0 {
+		t.Error("breaker_rejected not counted")
+	}
+	if st := n.Status(); st.BreakerOpened == 0 || st.ForwardFailures != 2 {
+		t.Errorf("status breaker_opened=%d forward_failures=%d, want >0 and 2", st.BreakerOpened, st.ForwardFailures)
+	}
+}
+
+// TestNodeForwardMarksHop: the forwarded request must carry ForwardedHeader
+// (one-hop guarantee) and relay the peer's body and content type verbatim.
+func TestNodeForwardMarksHop(t *testing.T) {
+	var gotForwarded atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotForwarded.Store(r.Header.Get(ForwardedHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":1}`))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	n, err := NewNode(Config{Self: "self:9", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Forward(context.Background(), addr, "/v1/route", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != `{"ok":1}` || resp.ContentType != "application/json" {
+		t.Errorf("relay mangled: body=%q ct=%q", resp.Body, resp.ContentType)
+	}
+	if got, _ := gotForwarded.Load().(string); got != "self:9" {
+		t.Errorf("forwarded header = %q, want self:9", got)
+	}
+}
+
+// TestNodeForwardUnknownPeer: forwarding to an address outside the
+// membership is refused outright.
+func TestNodeForwardUnknownPeer(t *testing.T) {
+	n, err := NewNode(Config{Self: "self:1", Peers: []string{"peer:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Forward(context.Background(), "stranger:3", "/v1/route", nil); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v, want ErrPeerUnreachable", err)
+	}
+}
+
+// TestNodeStartClose: the heartbeat loop starts, observes the peer, and
+// Close is idempotent and leaves nothing running.
+func TestNodeStartClose(t *testing.T) {
+	addr, _ := newTestPeer(t, nil)
+	reg := obs.New()
+	n, err := NewNode(Config{
+		Self:           "self:1",
+		Peers:          []string{addr},
+		HeartbeatEvery: 5 * time.Millisecond,
+		Obs:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("cluster.heartbeat_ok").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop never probed the peer")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.Close()
+	n.Close() // idempotent
+}

@@ -1,0 +1,143 @@
+// Package cluster is the peer-membership and failover layer of the serving
+// tier. The paper's central trade-off — a smaller host still simulates
+// everything, just slower — reappears here one level up: a cluster of m
+// serving nodes owns the request keyspace via consistent hashing, and when k
+// nodes die the survivors keep answering every request, just without the
+// dead nodes' cache shards. Losing a node is a forced walk down the size
+// axis, never an outage: a request whose owner is unreachable is computed
+// locally (a cache miss, i.e. bounded slowdown), exactly the "smaller
+// network, bounded slowdown" guarantee of Theorem 2.1 applied to the
+// serving tier.
+//
+// The pieces:
+//
+//   - Ring (this file): a deterministic consistent-hash ring mapping cache
+//     keys to member addresses, with virtual nodes for balance;
+//   - Breaker (breaker.go): a per-peer closed/open/half-open circuit
+//     breaker on an injectable clock;
+//   - Node (node.go): membership + health via heartbeats, and request
+//     forwarding with per-hop deadlines, bounded retries, and seeded
+//     jittered backoff.
+//
+// Everything that affects request outcomes is deterministic for a fixed
+// seed: hashing is SplitMix64 (no map iteration, no wall-clock), retry
+// jitter is a pure function of (seed, sequence, attempt), and fault
+// injection (faults.ClusterPlan) is a pure function of the forward
+// sequence number.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// splitmix64 is the SplitMix64 avalanche mix (Steele et al.), the same
+// function internal/faults and the experiment registry use for seed
+// derivation — one hash family across the laboratory.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string through SplitMix64 byte by byte. Deterministic
+// across processes and Go versions (unlike maphash), which matters because
+// every node must agree on ownership without coordination.
+func hashString(s string) uint64 {
+	h := splitmix64(0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h = splitmix64(h ^ uint64(s[i]))
+	}
+	return h
+}
+
+// DefaultReplicas is the virtual-node count per member when Config leaves
+// it zero. 64 vnodes keep the largest/smallest ownership arc within a few
+// percent of each other for small clusters.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over member addresses. Build
+// with NewRing; membership changes build a new ring (the Node swaps the
+// pointer), so lookups never lock against rebuilds.
+type Ring struct {
+	replicas int
+	points   []ringPoint // ascending by hash
+	members  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring of the given members with replicas virtual nodes
+// each (0 ⇒ DefaultReplicas). Members are deduplicated; order does not
+// matter — two nodes that agree on the member set agree on every owner.
+func NewRing(replicas int, members []string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		replicas: replicas,
+		points:   make([]ringPoint, 0, replicas*len(uniq)),
+		members:  uniq,
+	}
+	for _, m := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashString(m + "#" + strconv.Itoa(v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by member name so every node
+		// still agrees.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Owner maps key to the member owning it: the first virtual node clockwise
+// from the key's hash. Empty ring ⇒ "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member set.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.members...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingAgreement is the no-coordination contract: two rings built from
+// the same member set in different orders (and with duplicates) agree on
+// every owner.
+func TestRingAgreement(t *testing.T) {
+	a := NewRing(64, []string{"n1:1", "n2:1", "n3:1"})
+	b := NewRing(64, []string{"n3:1", "n1:1", "n2:1", "n1:1", ""})
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("simulate|torus|%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+// TestRingBalance checks that virtual nodes spread ownership: every member
+// of a 3-node ring owns a nontrivial share of 3000 keys.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1:1", "n2:1", "n3:1"}
+	r := NewRing(0, members) // 0 ⇒ DefaultReplicas
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] < 300 { // a fair share is 1000; 300 is a loose floor
+			t.Errorf("member %s owns only %d/3000 keys", m, counts[m])
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyVictimKeys is consistent hashing's point: taking
+// one member out must not reshuffle keys the survivors already owned.
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	full := NewRing(64, []string{"n1:1", "n2:1", "n3:1"})
+	reduced := NewRing(64, []string{"n1:1", "n3:1"})
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "n2:1" {
+			if after == "n2:1" {
+				t.Fatalf("removed member still owns %q", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s → %s though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingEmpty covers the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	if owner := NewRing(8, nil).Owner("k"); owner != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", owner)
+	}
+	var nilRing *Ring
+	if owner := nilRing.Owner("k"); owner != "" {
+		t.Errorf("nil ring owner = %q, want \"\"", owner)
+	}
+	if nilRing.Len() != 0 || nilRing.Members() != nil {
+		t.Error("nil ring should report no members")
+	}
+}

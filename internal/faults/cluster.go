@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file lifts the fault model one tier up: from host processors inside
+// a simulation to the serving nodes of the cluster itself (internal/
+// cluster). A ClusterPlan schedules node kills/restarts on the wall-clock
+// of a soak run and injects per-forward message faults (drop, delay) into
+// the request-forwarding path, all deterministically from a seed — the
+// serving-tier analogue of Plan, where crashing k nodes walks the cluster
+// down the size axis and the survivors must keep every request answered.
+
+// NodeEvent schedules one membership fault: node index Node (into the
+// soak's ordered node list) is killed or restarted AtMS milliseconds into
+// the run.
+type NodeEvent struct {
+	Node int    `json:"node"`
+	AtMS int    `json:"at_ms"`
+	Kind string `json:"kind"` // "kill" | "restart"
+}
+
+// ClusterPlan is a deterministic serving-tier fault schedule. The zero
+// value injects nothing. Events drive the chaos driver (uninetload -chaos);
+// the rates drive per-forward fates consumed by internal/cluster via the
+// ForwardFaults interface shape (Fate).
+type ClusterPlan struct {
+	// Name labels the plan ("" for ad-hoc plans).
+	Name string `json:"name"`
+	// Seed drives the per-forward fate decisions.
+	Seed int64 `json:"seed"`
+	// Events are the scheduled node kills/restarts, ascending by AtMS.
+	Events []NodeEvent `json:"events,omitempty"`
+	// DropRate is the probability a forward attempt is dropped (treated as
+	// a transport failure by the forwarding node), in [0, 1).
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// DelayRate is the probability a forward attempt is delayed, in [0, 1).
+	DelayRate float64 `json:"delay_rate,omitempty"`
+	// DelayMaxMS bounds an injected delay; each delayed forward waits a
+	// deterministic duration in (0, DelayMaxMS].
+	DelayMaxMS int `json:"delay_max_ms,omitempty"`
+}
+
+// Validate checks rates and event shape.
+func (p *ClusterPlan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.DropRate}, {"delay", p.DelayRate}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("faults: cluster %s rate %v outside [0,1)", r.name, r.v)
+		}
+	}
+	if p.DelayRate > 0 && p.DelayMaxMS <= 0 {
+		return fmt.Errorf("faults: delay rate %v with no DelayMaxMS", p.DelayRate)
+	}
+	for _, e := range p.Events {
+		if e.Node < 0 {
+			return fmt.Errorf("faults: cluster event on negative node %d", e.Node)
+		}
+		if e.AtMS < 0 {
+			return fmt.Errorf("faults: cluster event at negative time %dms", e.AtMS)
+		}
+		switch e.Kind {
+		case "kill", "restart":
+		default:
+			return fmt.Errorf("faults: unknown cluster event kind %q (kill|restart)", e.Kind)
+		}
+	}
+	return nil
+}
+
+// Active reports whether the plan injects anything at all.
+func (p *ClusterPlan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return len(p.Events) > 0 || p.DropRate > 0 || p.DelayRate > 0
+}
+
+// Fate decides, purely from (plan seed, forward sequence number), whether
+// forward attempt seq is dropped and how long it is delayed first. It
+// implements cluster.ForwardFaults: no shared RNG state, so concurrent
+// forwards get order-independent fates.
+func (p *ClusterPlan) Fate(seq int64) (drop bool, delay time.Duration) {
+	if p == nil {
+		return false, 0
+	}
+	h := splitmix64(uint64(p.Seed))
+	h = splitmix64(h ^ uint64(seq)<<13)
+	u := unitFloat(h)
+	if u < p.DropRate {
+		drop = true
+	}
+	h = splitmix64(h ^ 0xD1B54A32D192ED03)
+	if unitFloat(h) < p.DelayRate {
+		// A second channel picks the magnitude in (0, DelayMaxMS].
+		ms := 1 + int(splitmix64(h^0x8BB84B93962EACC9)%uint64(p.DelayMaxMS))
+		delay = time.Duration(ms) * time.Millisecond
+	}
+	return drop, delay
+}
+
+// ClusterScenarioNames lists the recognized cluster scenario names, sorted.
+func ClusterScenarioNames() []string {
+	names := []string{"none", "kill1", "kill1-restart", "lossy-net", "slow-net", "chaos"}
+	sort.Strings(names)
+	return names
+}
+
+// ClusterScenario resolves a named serving-tier scenario against a cluster
+// of nodes serving a run of horizonMS milliseconds:
+//
+//	none          — no faults (baseline)
+//	kill1         — SIGKILL one seeded victim at mid-run
+//	kill1-restart — kill one victim at mid-run, restart it at 3/4 run
+//	lossy-net     — 5% of forward attempts dropped
+//	slow-net      — 20% of forward attempts delayed up to 50ms
+//	chaos         — kill1 + 2% drop + 10% delay up to 25ms
+//
+// The victim index and event times are drawn deterministically from the
+// seed, so "kill1 @ seed 7" names one exact chaos schedule forever.
+func ClusterScenario(name string, seed int64, nodes, horizonMS int) (*ClusterPlan, error) {
+	if nodes < 1 || horizonMS < 1 {
+		return nil, fmt.Errorf("faults: cluster scenario needs nodes ≥ 1 and horizon ≥ 1ms (got %d, %dms)", nodes, horizonMS)
+	}
+	mid := horizonMS / 2
+	if mid < 1 {
+		mid = 1
+	}
+	victim := pick(seed, "cluster-kill", 0, nodes)
+	p := &ClusterPlan{Name: name, Seed: seed}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "none", "":
+		p.Name = "none"
+	case "kill1":
+		p.Events = []NodeEvent{{Node: victim, AtMS: mid, Kind: "kill"}}
+	case "kill1-restart":
+		p.Events = []NodeEvent{
+			{Node: victim, AtMS: mid, Kind: "kill"},
+			{Node: victim, AtMS: mid + horizonMS/4, Kind: "restart"},
+		}
+	case "lossy-net":
+		p.DropRate = 0.05
+	case "slow-net":
+		p.DelayRate = 0.20
+		p.DelayMaxMS = 50
+	case "chaos":
+		p.Events = []NodeEvent{{Node: victim, AtMS: mid, Kind: "kill"}}
+		p.DropRate = 0.02
+		p.DelayRate = 0.10
+		p.DelayMaxMS = 25
+	default:
+		return nil, fmt.Errorf("faults: unknown cluster scenario %q (valid: %s)",
+			name, strings.Join(ClusterScenarioNames(), ","))
+	}
+	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].AtMS < p.Events[j].AtMS })
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterScenarioDeterminism: the same (name, seed, nodes, horizon)
+// must resolve to the identical plan, and different seeds should be able to
+// pick different victims.
+func TestClusterScenarioDeterminism(t *testing.T) {
+	a, err := ClusterScenario("kill1", 7, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterScenario("kill1", 7, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 1 || len(b.Events) != 1 || a.Events[0] != b.Events[0] {
+		t.Fatalf("kill1 not deterministic: %+v vs %+v", a.Events, b.Events)
+	}
+	if a.Events[0].Kind != "kill" || a.Events[0].AtMS != 2000 {
+		t.Fatalf("kill1 event = %+v, want kill at mid-run", a.Events[0])
+	}
+	if a.Events[0].Node < 0 || a.Events[0].Node >= 3 {
+		t.Fatalf("victim %d out of range", a.Events[0].Node)
+	}
+	seen := map[int]bool{}
+	for seed := int64(1); seed <= 20; seed++ {
+		p, err := ClusterScenario("kill1", seed, 3, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Events[0].Node] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("20 seeds picked only victims %v — seed not reaching the victim draw", seen)
+	}
+}
+
+// TestClusterScenarioShapes checks each named scenario's structure and that
+// unknown names fail with the valid set.
+func TestClusterScenarioShapes(t *testing.T) {
+	for _, name := range ClusterScenarioNames() {
+		p, err := ClusterScenario(name, 1, 3, 8000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" && p.Active() {
+			t.Errorf("none is active: %+v", p)
+		}
+		if name != "none" && !p.Active() {
+			t.Errorf("%s is inactive", name)
+		}
+	}
+	p, err := ClusterScenario("kill1-restart", 3, 4, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 || p.Events[0].Kind != "kill" || p.Events[1].Kind != "restart" {
+		t.Fatalf("kill1-restart events = %+v", p.Events)
+	}
+	if p.Events[0].Node != p.Events[1].Node || p.Events[1].AtMS <= p.Events[0].AtMS {
+		t.Fatalf("restart must revive the same victim later: %+v", p.Events)
+	}
+	if _, err := ClusterScenario("nope", 1, 3, 1000); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ClusterScenario("kill1", 1, 0, 1000); err == nil {
+		t.Error("0-node cluster accepted")
+	}
+}
+
+// TestClusterFatePureAndRated: Fate must be a pure function of (seed, seq),
+// nil-safe, and hit the configured rates roughly over many sequences.
+func TestClusterFatePure(t *testing.T) {
+	p := &ClusterPlan{Seed: 11, DropRate: 0.10, DelayRate: 0.20, DelayMaxMS: 40}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	drops, delays := 0, 0
+	for seq := int64(0); seq < 10000; seq++ {
+		d1, w1 := p.Fate(seq)
+		d2, w2 := p.Fate(seq)
+		if d1 != d2 || w1 != w2 {
+			t.Fatalf("Fate(%d) not pure: (%v,%v) vs (%v,%v)", seq, d1, w1, d2, w2)
+		}
+		if d1 {
+			drops++
+		}
+		if w1 > 0 {
+			delays++
+			if w1 > 40*time.Millisecond {
+				t.Fatalf("delay %v exceeds DelayMaxMS", w1)
+			}
+		}
+	}
+	if drops < 700 || drops > 1300 {
+		t.Errorf("drop count %d/10000 far from 10%%", drops)
+	}
+	if delays < 1600 || delays > 2400 {
+		t.Errorf("delay count %d/10000 far from 20%%", delays)
+	}
+	var nilPlan *ClusterPlan
+	if d, w := nilPlan.Fate(3); d || w != 0 {
+		t.Error("nil plan must inject nothing")
+	}
+	if nilPlan.Active() {
+		t.Error("nil plan active")
+	}
+}
+
+// TestClusterPlanValidate covers the rejection paths.
+func TestClusterPlanValidate(t *testing.T) {
+	bad := []ClusterPlan{
+		{DropRate: 1.0},
+		{DelayRate: -0.1},
+		{DelayRate: 0.1}, // no DelayMaxMS
+		{Events: []NodeEvent{{Node: -1, AtMS: 0, Kind: "kill"}}},
+		{Events: []NodeEvent{{Node: 0, AtMS: -5, Kind: "kill"}}},
+		{Events: []NodeEvent{{Node: 0, AtMS: 0, Kind: "explode"}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+	}
+	ok := ClusterPlan{DropRate: 0.5, DelayRate: 0.5, DelayMaxMS: 10,
+		Events: []NodeEvent{{Node: 2, AtMS: 100, Kind: "restart"}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"universalnet/internal/cluster"
+)
+
+// Response headers the cluster layer stamps on every /v1 answer, so a
+// client (or an operator with curl) can see exactly how a request was
+// routed without consulting logs.
+const (
+	// HeaderNode names the node that computed the response body.
+	HeaderNode = "X-Uninet-Node"
+	// HeaderOwner names the consistent-hash owner of the request's cache
+	// key at routing time.
+	HeaderOwner = "X-Uninet-Owner"
+	// HeaderRoute is how the request was served: "local" (this node owns
+	// the key, or the request arrived pre-forwarded), "forwarded" (relayed
+	// to the owner), or "fallback" (owner unreachable or rejecting; served
+	// locally as a correct-but-uncached degradation).
+	HeaderRoute = "X-Uninet-Route"
+	// HeaderVia names the node that relayed a forwarded response.
+	HeaderVia = "X-Uninet-Via"
+)
+
+// KeyFor computes the canonical cache key of an encoded /v1 request body
+// for kind "simulate", "route", or "embed" — the same key the serving
+// node's result cache uses, which makes it the unit of cluster ownership.
+// Invalid bodies return an error; the caller then serves locally so the
+// normal handler produces the right 400.
+func KeyFor(kind string, body []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	switch kind {
+	case "simulate":
+		var req SimulateRequest
+		if err := dec.Decode(&req); err != nil {
+			return "", err
+		}
+		req = req.withDefaults()
+		if err := req.Validate(); err != nil {
+			return "", err
+		}
+		return req.Key(), nil
+	case "route":
+		var req RouteRequest
+		if err := dec.Decode(&req); err != nil {
+			return "", err
+		}
+		req = req.withDefaults()
+		if err := req.Validate(); err != nil {
+			return "", err
+		}
+		return req.Key(), nil
+	case "embed":
+		var req EmbedRequest
+		if err := dec.Decode(&req); err != nil {
+			return "", err
+		}
+		req = req.withDefaults()
+		if err := req.Validate(); err != nil {
+			return "", err
+		}
+		return req.Key(), nil
+	}
+	return "", fmt.Errorf("service: unknown request kind %q", kind)
+}
+
+// ClusterOptions tunes the cluster handler.
+type ClusterOptions struct {
+	// NoLocalFallback disables serving locally when the owner is
+	// unreachable: forwarding failures surface as 502 instead of a
+	// degraded-but-correct local answer. For debugging and tests that
+	// need the failure visible.
+	NoLocalFallback bool
+}
+
+// ClusterStatusDoc is /v1/status in cluster mode: the node's own service
+// status plus the peer-aware cluster block.
+type ClusterStatusDoc struct {
+	Status
+	Cluster cluster.Status `json:"cluster"`
+}
+
+// ClusterHandler wraps the /v1 service with consistent-hash request
+// routing: each request's cache key has one owner under the current
+// membership; non-owners forward to the owner (per-hop deadlines, bounded
+// retries, circuit breaker — see internal/cluster) and degrade to local
+// compute when the owner is unreachable. A locally computed answer is
+// always correct — it is the same deterministic function of the request —
+// just a cache miss: the cluster's version of the paper's smaller-network,
+// bounded-slowdown guarantee.
+//
+// Requests carrying cluster.ForwardedHeader are always served locally
+// (forwards are one hop, so rehash races cannot loop), and /v1/status
+// becomes peer-aware.
+func ClusterHandler(s *Service, node *cluster.Node, opts ClusterOptions) http.Handler {
+	inner := Handler(s)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case cluster.HealthPath:
+			handleHealth(node.Self())(w, r)
+			return
+		case "/v1/status":
+			if r.Method != http.MethodGet {
+				writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+				return
+			}
+			w.Header().Set(HeaderNode, node.Self())
+			writeJSON(w, http.StatusOK, ClusterStatusDoc{Status: s.Status(), Cluster: node.Status()})
+			return
+		case "/v1/simulate", "/v1/route", "/v1/embed":
+			if r.Method != http.MethodPost {
+				writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"))
+				return
+			}
+			routeRequest(s, node, opts, inner, w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// routeRequest is the ownership/forward/fallback decision for one typed
+// POST.
+func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner http.Handler, w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Path[len("/v1/"):]
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	self := node.Self()
+	w.Header().Set(HeaderNode, self)
+
+	// Pre-forwarded requests are served locally unconditionally: the
+	// sender already resolved ownership, and one hop is the maximum.
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		w.Header().Set(HeaderOwner, self)
+		serveLocal(inner, w, r, body, "local")
+		return
+	}
+
+	key, err := KeyFor(kind, body)
+	if err != nil {
+		// Let the normal handler produce the canonical 400.
+		w.Header().Set(HeaderOwner, self)
+		serveLocal(inner, w, r, body, "local")
+		return
+	}
+	owner := node.Owner(key)
+	if owner == "" || owner == self {
+		w.Header().Set(HeaderOwner, self)
+		node.CountServedLocal()
+		serveLocal(inner, w, r, body, "local")
+		return
+	}
+	w.Header().Set(HeaderOwner, owner)
+
+	resp, err := node.Forward(r.Context(), owner, r.URL.Path, body)
+	if err != nil {
+		// Owner unreachable (breaker open or retries exhausted).
+		if opts.NoLocalFallback {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		node.CountFailover()
+		serveLocal(inner, w, r, body, "fallback")
+		return
+	}
+	if resp.Status == http.StatusServiceUnavailable || resp.Status == http.StatusTooManyRequests {
+		// The owner answered but is draining or overloaded. This node has
+		// capacity — compute locally rather than bounce the rejection to
+		// the client.
+		if opts.NoLocalFallback {
+			relayResponse(w, resp, owner, self)
+			return
+		}
+		node.CountFailover()
+		serveLocal(inner, w, r, body, "fallback")
+		return
+	}
+	relayResponse(w, resp, owner, self)
+}
+
+// serveLocal replays the buffered body through this node's own /v1 handler.
+func serveLocal(inner http.Handler, w http.ResponseWriter, r *http.Request, body []byte, route string) {
+	w.Header().Set(HeaderRoute, route)
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	inner.ServeHTTP(w, r2)
+}
+
+// relayResponse copies the owner's answer to the client verbatim, stamped
+// with the routing headers.
+func relayResponse(w http.ResponseWriter, resp *cluster.ForwardResponse, owner, self string) {
+	w.Header().Set(HeaderNode, owner)
+	w.Header().Set(HeaderVia, self)
+	w.Header().Set(HeaderRoute, "forwarded")
+	if resp.ContentType != "" {
+		w.Header().Set("Content-Type", resp.ContentType)
+	}
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
+}
+
+// handleHealth is the trivial liveness probe heartbeats hit. node may be ""
+// (single-node mode).
+func handleHealth(nodeName string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "node": nodeName})
+	}
+}

@@ -1,0 +1,419 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
+)
+
+// clusterTestNode is one in-process serving node: its own Service, cluster
+// Node, and HTTP server, gated by a drain flag exactly like runServe.
+type clusterTestNode struct {
+	addr     string
+	svc      *Service
+	node     *cluster.Node
+	srv      *httptest.Server
+	reg      *obs.Registry
+	draining atomic.Bool
+}
+
+// startTestCluster boots n nodes that know each other as peers. Heartbeat
+// loops are not started — health transitions are driven by breakers and
+// (in tests that need them) explicit HeartbeatOnce calls, keeping the
+// tests deterministic.
+func startTestCluster(t *testing.T, n int, opts ClusterOptions) []*clusterTestNode {
+	t.Helper()
+	nodes := make([]*clusterTestNode, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		nodes[i] = &clusterTestNode{srv: httptest.NewUnstartedServer(nil)}
+		addrs[i] = nodes[i].srv.Listener.Addr().String()
+		nodes[i].addr = addrs[i]
+	}
+	for i, tn := range nodes {
+		peers := make([]string, 0, n-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		tn.reg = obs.New()
+		tn.svc = New(Config{Workers: 2, QueueDepth: 64, Obs: tn.reg})
+		var err error
+		tn.node, err = cluster.NewNode(cluster.Config{
+			Self:           tn.addr,
+			Peers:          peers,
+			Retries:        1,
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     4 * time.Millisecond,
+			ForwardTimeout: 5 * time.Second,
+			Obs:            tn.reg,
+			Breaker:        cluster.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Minute},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.srv.Config.Handler = Drain(tn.draining.Load, ClusterHandler(tn.svc, tn.node, opts))
+		tn.srv.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.shutdown()
+		}
+	})
+	return nodes
+}
+
+// shutdown tears one node down: HTTP server first (blocks until in-flight
+// handlers finish), then the service drain. Idempotent.
+func (tn *clusterTestNode) shutdown() {
+	tn.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	tn.svc.Close(ctx)
+}
+
+// simulateBody builds a /v1/simulate body for the given seed.
+func simulateBody(seed int64) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"topology": "ring", "n": 16, "m": 8, "seed": seed, "steps": 2,
+	})
+	return b
+}
+
+// seedOwnedBy scans seeds until one's simulate key is owned by want under
+// owner's membership view.
+func seedOwnedBy(t *testing.T, owner *cluster.Node, want string) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 200; seed++ {
+		key, err := KeyFor("simulate", simulateBody(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner.Owner(key) == want {
+			return seed
+		}
+	}
+	t.Fatal("no seed in 1..200 owned by the wanted node — ring badly skewed")
+	return 0
+}
+
+// postNode POSTs body to the node and returns status, response bytes, and
+// headers.
+func postNode(t *testing.T, addr string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// checksumOf extracts the simulation checksum from a response body.
+func checksumOf(t *testing.T, body []byte) uint64 {
+	t.Helper()
+	var res struct {
+		Checksum uint64 `json:"checksum"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	return res.Checksum
+}
+
+// TestClusterForwarding: a request arriving at a non-owner is forwarded to
+// the owner, stamped with routing headers, and returns the same
+// deterministic result the owner serves directly.
+func TestClusterForwarding(t *testing.T) {
+	nodes := startTestCluster(t, 2, ClusterOptions{})
+	a, b := nodes[0], nodes[1]
+	seed := seedOwnedBy(t, a.node, b.addr)
+	body := simulateBody(seed)
+
+	status, respA, hdr := postNode(t, a.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d via non-owner, want 200 (%s)", status, respA)
+	}
+	if hdr.Get(HeaderRoute) != "forwarded" {
+		t.Errorf("route %q, want forwarded", hdr.Get(HeaderRoute))
+	}
+	if hdr.Get(HeaderOwner) != b.addr || hdr.Get(HeaderNode) != b.addr {
+		t.Errorf("owner/node headers %q/%q, want both %q", hdr.Get(HeaderOwner), hdr.Get(HeaderNode), b.addr)
+	}
+	if hdr.Get(HeaderVia) != a.addr {
+		t.Errorf("via %q, want %q", hdr.Get(HeaderVia), a.addr)
+	}
+
+	// Direct to the owner: local route, identical checksum.
+	status, respB, hdr := postNode(t, b.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d at owner, want 200", status)
+	}
+	if hdr.Get(HeaderRoute) != "local" {
+		t.Errorf("owner route %q, want local", hdr.Get(HeaderRoute))
+	}
+	if checksumOf(t, respA) != checksumOf(t, respB) {
+		t.Errorf("forwarded and direct answers disagree: %s vs %s", respA, respB)
+	}
+	if st := a.node.Status(); st.Forwarded == 0 {
+		t.Error("forwarded counter not bumped on the relay node")
+	}
+	// The owner computed once; the forwarded answer populated its cache,
+	// so the direct request was a cache hit.
+	var res struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(respB, &res); err != nil || !res.Cached {
+		t.Errorf("owner's second answer not cached: %s (err %v)", respB, err)
+	}
+}
+
+// TestClusterFallbackOnDeadOwner: with the owner SIGKILL-equivalent (server
+// closed), the non-owner must still answer 200 by computing locally, count
+// the failover, and eventually open the owner's breaker.
+func TestClusterFallbackOnDeadOwner(t *testing.T) {
+	nodes := startTestCluster(t, 2, ClusterOptions{})
+	a, b := nodes[0], nodes[1]
+	seed := seedOwnedBy(t, a.node, b.addr)
+	body := simulateBody(seed)
+
+	b.srv.Close() // the owner dies
+
+	status, resp, hdr := postNode(t, a.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d with dead owner, want 200 via local fallback (%s)", status, resp)
+	}
+	if hdr.Get(HeaderRoute) != "fallback" {
+		t.Errorf("route %q, want fallback", hdr.Get(HeaderRoute))
+	}
+	if hdr.Get(HeaderNode) != a.addr || hdr.Get(HeaderOwner) != b.addr {
+		t.Errorf("node/owner headers %q/%q, want %q/%q", hdr.Get(HeaderNode), hdr.Get(HeaderOwner), a.addr, b.addr)
+	}
+	st := a.node.Status()
+	if st.FailoverLocal == 0 {
+		t.Error("failover_local not counted")
+	}
+	// Two transport failures (Retries=1) reach the threshold: breaker open.
+	if got := a.node.BreakerState(b.addr); got != cluster.BreakerOpen {
+		t.Errorf("breaker %s after failed forward, want open", got)
+	}
+	// Next request fails fast into fallback without new attempts.
+	attempts := a.reg.Counter("cluster.forward_attempts").Value()
+	if status, _, hdr = postNode(t, a.addr, body); status != http.StatusOK || hdr.Get(HeaderRoute) != "fallback" {
+		t.Fatalf("second fallback: status %d route %q", status, hdr.Get(HeaderRoute))
+	}
+	if got := a.reg.Counter("cluster.forward_attempts").Value(); got != attempts {
+		t.Errorf("open breaker still attempting forwards (%d → %d)", attempts, got)
+	}
+}
+
+// TestClusterNoFallback502: with local fallback disabled, an unreachable
+// owner surfaces as an explicit 502, distinct from 503 (draining) and 429
+// (overloaded).
+func TestClusterNoFallback502(t *testing.T) {
+	nodes := startTestCluster(t, 2, ClusterOptions{NoLocalFallback: true})
+	a, b := nodes[0], nodes[1]
+	seed := seedOwnedBy(t, a.node, b.addr)
+	b.srv.Close()
+
+	status, resp, _ := postNode(t, a.addr, simulateBody(seed))
+	if status != http.StatusBadGateway {
+		t.Fatalf("status %d with dead owner and no fallback, want 502 (%s)", status, resp)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(resp, &apiErr); err != nil || apiErr.Error == "" {
+		t.Errorf("502 body not the error envelope: %s", resp)
+	}
+}
+
+// TestClusterDrainForwardsTo503Fallback: a draining owner answers forwarded
+// requests 503; the relay node detects it and degrades to local compute, so
+// the client still sees 200.
+func TestClusterDrainFallback(t *testing.T) {
+	nodes := startTestCluster(t, 2, ClusterOptions{})
+	a, b := nodes[0], nodes[1]
+	seed := seedOwnedBy(t, a.node, b.addr)
+	body := simulateBody(seed)
+
+	b.draining.Store(true) // B rejects everything with 503 from now on
+
+	status, resp, hdr := postNode(t, a.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d with draining owner, want 200 (%s)", status, resp)
+	}
+	if hdr.Get(HeaderRoute) != "fallback" {
+		t.Errorf("route %q, want fallback", hdr.Get(HeaderRoute))
+	}
+	// Direct clients of the draining node get the explicit 503.
+	status, _, _ = postNode(t, b.addr, body)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining node answered %d directly, want 503", status)
+	}
+	// The drain is an HTTP response, not a transport failure: the breaker
+	// stays closed, ready for the node's return.
+	if got := a.node.BreakerState(b.addr); got != cluster.BreakerClosed {
+		t.Errorf("breaker %s after draining owner, want closed", got)
+	}
+}
+
+// TestClusterDrainUnderConcurrentForwardedTraffic is the two-phase-drain
+// regression test: while forwarded traffic is in flight, the owner starts
+// draining; every in-flight forward must finish, every new request must be
+// answered (fallback on the relay, 503 directly), and no goroutine may
+// outlive the drain.
+func TestClusterDrainUnderConcurrentForwardedTraffic(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	func() {
+		nodes := startTestCluster(t, 2, ClusterOptions{})
+		a, b := nodes[0], nodes[1]
+		seed := seedOwnedBy(t, a.node, b.addr)
+
+		// Concurrent forwarded traffic across the drain flip: a fresh seed
+		// per request forces real computes (roughly half owned by the
+		// draining node), and the traffic window straddles the flip so
+		// forwards are in flight when the drain begins.
+		const workers = 8
+		var (
+			wg      sync.WaitGroup
+			seedCtr atomic.Int64
+		)
+		errs := make(chan error, 256)
+		stopAt := time.Now().Add(300 * time.Millisecond)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for time.Now().Before(stopAt) {
+					body := simulateBody(seed + 1000*seedCtr.Add(1))
+					resp, err := http.Post("http://"+a.addr+"/v1/simulate", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("worker %d: status %d", w, resp.StatusCode)
+						return
+					}
+				}
+			}(w)
+		}
+		time.Sleep(50 * time.Millisecond) // let forwards get in flight
+		b.draining.Store(true)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Errorf("request failed across drain: %v", err)
+		}
+		// After the flip, the relay must have degraded at least once (the
+		// owner 503s every new forward).
+		if a.node.Status().FailoverLocal == 0 {
+			t.Error("no failover recorded though the owner drained mid-traffic")
+		}
+		// Tear both nodes down now (the t.Cleanup registration would run
+		// only after the leak check below).
+		for _, tn := range nodes {
+			tn.shutdown()
+		}
+	}()
+	// Cleanup ran: servers closed, services drained. Drop idle keep-alive
+	// client connections (default transport, shared by the test requests
+	// and the node's forwarder) — they are client-side, not drain leaks.
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines %d > baseline %d after drain\n%s", runtime.NumGoroutine(), baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterStatusDoc: /v1/status in cluster mode carries the service
+// fields plus the peer-aware cluster block.
+func TestClusterStatusDoc(t *testing.T) {
+	nodes := startTestCluster(t, 3, ClusterOptions{})
+	a := nodes[0]
+	resp, err := http.Get("http://" + a.addr + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc ClusterStatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cluster.Self != a.addr {
+		t.Errorf("cluster.self = %q, want %q", doc.Cluster.Self, a.addr)
+	}
+	if len(doc.Cluster.Peers) != 2 {
+		t.Errorf("cluster.peers = %d entries, want 2", len(doc.Cluster.Peers))
+	}
+	if len(doc.Cluster.RingMembers) != 3 {
+		t.Errorf("ring_members = %v, want 3 members", doc.Cluster.RingMembers)
+	}
+	if doc.Workers == 0 {
+		t.Error("service status fields missing from the cluster doc")
+	}
+	// Health answers on every node.
+	hr, err := http.Get("http://" + a.addr + cluster.HealthPath)
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("health: %v %v", err, hr)
+	}
+	hr.Body.Close()
+}
+
+// TestKeyFor: keys must match the typed requests' own Key() (defaults
+// applied), and bad bodies or kinds must error.
+func TestKeyFor(t *testing.T) {
+	key, err := KeyFor("simulate", []byte(`{"topology":"ring","n":16,"m":8,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SimulateRequest{Topology: "ring", N: 16, M: 8, Seed: 3}.withDefaults().Key()
+	if key != want {
+		t.Errorf("key %q, want %q", key, want)
+	}
+	key, err = KeyFor("route", []byte(`{"topology":"ring","m":8,"seed":3}`))
+	if err != nil || key != (RouteRequest{Topology: "ring", M: 8, Seed: 3}.withDefaults().Key()) {
+		t.Errorf("route key %q err %v", key, err)
+	}
+	key, err = KeyFor("embed", []byte(`{"topology":"ring","n":16,"m":8,"seed":3}`))
+	if err != nil || key != (EmbedRequest{Topology: "ring", N: 16, M: 8, Seed: 3}.withDefaults().Key()) {
+		t.Errorf("embed key %q err %v", key, err)
+	}
+	for _, bad := range []struct{ kind, body string }{
+		{"simulate", `{"nope":1}`},
+		{"simulate", `not json`},
+		{"simulate", `{"topology":"ring","n":-1,"m":8}`},
+		{"teleport", `{}`},
+	} {
+		if _, err := KeyFor(bad.kind, []byte(bad.body)); err == nil {
+			t.Errorf("KeyFor(%s, %s) accepted", bad.kind, bad.body)
+		}
+	}
+}

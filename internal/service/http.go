@@ -6,17 +6,22 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"universalnet/internal/cluster"
 )
 
 // maxBodyBytes bounds a request body; the typed requests are tiny.
 const maxBodyBytes = 1 << 16
 
 // Handler mounts the service as JSON-over-HTTP under /v1/: POST
-// /v1/simulate, /v1/route, /v1/embed and GET /v1/status. Error mapping:
-// 400 invalid request, 429 admission-control rejection (ErrOverloaded),
-// 503 draining (ErrClosed), 504 per-request deadline, 500 engine errors.
+// /v1/simulate, /v1/route, /v1/embed and GET /v1/status, /v1/health.
+// Error mapping: 400 invalid request, 429 admission-control rejection
+// (ErrOverloaded), 502 peer unreachable without local fallback
+// (cluster.ErrPeerUnreachable), 503 draining (ErrClosed), 504 per-request
+// deadline, 500 engine errors.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc(cluster.HealthPath, handleHealth(""))
 	mux.HandleFunc("/v1/simulate", post(s, func(ctx context.Context, req SimulateRequest) (*SimulateResult, error) {
 		return s.Simulate(ctx, req)
 	}))
@@ -75,6 +80,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrPeerUnreachable):
+		return http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:

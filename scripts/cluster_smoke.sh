@@ -1,0 +1,96 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke of the fault-tolerant serving cluster.
+#
+# Boots three `uninet serve` nodes in a full mesh (-peers), then drives them
+# with uninetload in two phases:
+#
+#   1. warm phase: distinct seeds round-robin across the nodes, so requests
+#      land on non-owners and must be forwarded to the consistent-hash owner
+#      (-assert-forwards); zero errors and zero inconsistent responses;
+#   2. chaos phase: a seeded kill1 scenario SIGKILLs one node mid-run while
+#      traffic keeps flowing. Every request must still succeed — the client
+#      fails over off the dead node, survivors open the dead peer's breaker
+#      and serve its keys as local fallbacks (-assert-failovers) — with p99
+#      under a generous bound and, again, zero inconsistent responses.
+#
+# Afterwards a survivor's /v1/status must show the dead peer down with its
+# circuit breaker open. Exit nonzero on any violation. Used by
+# `make cluster-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+HOST=${HOST:-127.0.0.1}
+P1=${P1:-8231}
+P2=${P2:-8232}
+P3=${P3:-8233}
+A1="$HOST:$P1"; A2="$HOST:$P2"; A3="$HOST:$P3"
+BIN=$(mktemp -d)
+trap 'kill $PID1 $PID2 $PID3 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+$GO build -o "$BIN/uninet" ./cmd/uninet
+$GO build -o "$BIN/uninetload" ./cmd/uninetload
+
+# Full mesh: every node lists the other two. -only E2 keeps startup fast;
+# a quick heartbeat makes the chaos phase detect the kill promptly.
+"$BIN/uninet" serve -addr "$A1" -peers "$A2,$A3" -heartbeat 200ms -only E2 &
+PID1=$!
+"$BIN/uninet" serve -addr "$A2" -peers "$A1,$A3" -heartbeat 200ms -only E2 &
+PID2=$!
+"$BIN/uninet" serve -addr "$A3" -peers "$A1,$A2" -heartbeat 200ms -only E2 &
+PID3=$!
+
+# Wait for all three nodes to answer.
+for a in "$A1" "$A2" "$A3"; do
+    i=0
+    until curl -sf "http://$a/v1/health" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "cluster_smoke: node $a never came up" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+
+echo "== phase 1: warm cluster traffic (forwards, zero errors, consistent) =="
+"$BIN/uninetload" -peers "$A1,$A2,$A3" -endpoint simulate -mode closed -c 6 \
+    -duration 2s -topology torus -n 64 -m 16 -seeds 32 -seed-base 42 \
+    -assert-forwards
+
+echo "== phase 2: chaos — SIGKILL one node mid-run, every request must succeed =="
+# kill1 @ chaos-seed 7 picks its victim deterministically; survivors serve
+# the dead node's keyspace as local fallbacks. The p99 bound is generous —
+# it exists to catch requests hanging on the dead peer, not to benchmark.
+"$BIN/uninetload" -peers "$A1,$A2,$A3" -pids "$PID1,$PID2,$PID3" \
+    -chaos kill1 -chaos-seed 7 \
+    -endpoint simulate -mode closed -c 6 \
+    -duration 4s -topology torus -n 64 -m 16 -seeds 32 -seed-base 4200 \
+    -assert-failovers -assert-max-p99-ms 5000
+
+echo "== survivor status: dead peer must be down with an open breaker =="
+VICTIM=""
+for a in "$A1" "$A2" "$A3"; do
+    if ! curl -sf "http://$a/v1/health" >/dev/null 2>&1; then
+        VICTIM=$a
+    fi
+done
+if [ -z "$VICTIM" ]; then
+    echo "cluster_smoke: chaos phase killed no node" >&2
+    exit 1
+fi
+echo "victim: $VICTIM"
+for a in "$A1" "$A2" "$A3"; do
+    [ "$a" = "$VICTIM" ] && continue
+    STATE=$(curl -sf "http://$a/v1/status" |
+        jq -r --arg v "$VICTIM" '.cluster.peers[] | select(.addr == $v) | "\(.state)/\(.breaker)"')
+    echo "survivor $a sees $VICTIM: $STATE"
+    case "$STATE" in
+    down/open | down/half-open) ;;
+    *)
+        echo "cluster_smoke: survivor $a reports '$STATE', want down with open breaker" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "cluster_smoke: OK"
