@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke cluster-smoke bigsim-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke cluster-smoke trace-smoke bigsim-smoke report examples cover clean
 
 # Explicit bench-compare tolerances (percent growth allowed per metric). CI
 # and local runs share these so the gate's verdict is reproducible.
@@ -78,6 +78,14 @@ load-smoke:
 # scripts/cluster_smoke.sh).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Tracing smoke: three tracing nodes under slow-net forwarded load with
+# client-stamped trace IDs. Asserts valid Prometheus /metrics, a fired
+# slow-request watchdog with an automatic CPU capture, a live runtime
+# sampler, and at least one cross-node joined trace after a graceful stop
+# (see scripts/trace_smoke.sh).
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Run the full E1..E24 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.

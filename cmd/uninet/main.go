@@ -12,6 +12,7 @@
 //	experiment — run a subset of the E1..E24 suite (parallel runner, JSON)
 //	report     — run the full suite and print every table
 //	serve      — run the suite with live metrics over HTTP (expvar, pprof)
+//	trace      — join per-node JSONL traces; waterfalls, attribution, percentiles
 //
 // Every subcommand takes -seed for reproducibility and prints plain tables.
 // `experiment`, `report` and `serve` accept -trace FILE for per-span JSONL
@@ -57,6 +58,8 @@ func main() {
 		err = cmdReport(args)
 	case "serve":
 		err = cmdServe(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "gap":
 		err = cmdGap(args)
 	case "help", "-h", "--help":
@@ -89,7 +92,9 @@ commands:
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
   report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E24 suite)
   serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]
-             [-peers A1,A2] [-advertise A] [-heartbeat D] [-no-local-fallback] [-cluster-faults NAME]   (suite + live metrics + /v1 service; -peers = sharded cluster node)
+             [-peers A1,A2] [-advertise A] [-heartbeat D] [-no-local-fallback] [-cluster-faults NAME]
+             [-slow-ms MS] [-slow-profile-dir DIR] [-runtime-sample D]   (suite + live metrics + /v1 service; -peers = sharded cluster node)
+  trace      [-top N] [-id TRACE] [-min-ms MS] [-json] [-assert-joined N] [-check-metrics URL] node1.jsonl [node2.jsonl ...]   (join multi-node traces, waterfalls + attribution)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)
 `)
 }

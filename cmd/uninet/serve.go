@@ -67,6 +67,9 @@ func cmdServe(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms)")
 	noFallback := fs.Bool("no-local-fallback", false, "surface forwarding failures as 502 instead of serving locally")
 	clusterFaults := fs.String("cluster-faults", "", "named forward-fault scenario: "+strings.Join(faults.ClusterScenarioNames(), "|")+" (drop/delay rates apply to this node's forwards)")
+	slowMS := fs.Int("slow-ms", 0, "slow-request watchdog threshold in ms (0 = off); slow requests log a span breakdown and may auto-capture a CPU profile")
+	slowProfileDir := fs.String("slow-profile-dir", "", "directory for automatic CPU profiles of slow requests (requires -slow-ms)")
+	runtimeSample := fs.Duration("runtime-sample", 5*time.Second, "Go runtime health sampling interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +119,9 @@ func cmdServe(args []string) error {
 		noLocalFallback: *noFallback,
 		clusterPlan:     plan,
 		clusterSeed:     *faultSeed,
+		slowThreshold:   time.Duration(*slowMS) * time.Millisecond,
+		slowProfileDir:  *slowProfileDir,
+		runtimeSample:   *runtimeSample,
 	}, os.Stdout)
 }
 
@@ -146,6 +152,12 @@ type serveOpts struct {
 	clusterPlan *faults.ClusterPlan
 	// clusterSeed drives the forward backoff jitter.
 	clusterSeed int64
+	// slowThreshold arms the slow-request watchdog (0 = off).
+	slowThreshold time.Duration
+	// slowProfileDir receives automatic CPU captures of slow requests.
+	slowProfileDir string
+	// runtimeSample is the Go runtime health sampling interval (0 = off).
+	runtimeSample time.Duration
 }
 
 // runServe is the listener-injectable core of cmdServe: it serves metrics
@@ -167,6 +179,12 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	if err != nil {
 		ln.Close()
 		return err
+	}
+	// The run-level registry shares the JSONL sink, so the telemetry layer's
+	// per-request span trees land in the same file as the suite's profiling
+	// spans (the trace tool separates them by presence of trace IDs).
+	if sink != nil {
+		reg.SetTrace(sink)
 	}
 
 	svc := service.New(service.Config{
@@ -205,6 +223,33 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 		node.Start()
 	}
 
+	// Telemetry wraps outermost so the per-stage timings context reaches the
+	// cluster router and the service spine, and forwarded requests join one
+	// distributed trace.
+	nodeName := ln.Addr().String()
+	if node != nil {
+		nodeName = node.Self()
+	}
+	v1 = service.Telemetry(svc, service.TelemetryOptions{
+		Node:          nodeName,
+		SlowThreshold: opts.slowThreshold,
+		SlowLog:       out,
+		ProfileDir:    opts.slowProfileDir,
+	}, v1)
+
+	// Runtime health sampling: goroutines, heap, GC pauses, on a ticker.
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	if opts.runtimeSample > 0 {
+		sampler := obs.NewRuntimeSampler(reg)
+		go func() {
+			defer close(samplerDone)
+			sampler.Run(opts.runtimeSample, samplerStop)
+		}()
+	} else {
+		close(samplerDone)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -212,11 +257,24 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// /metrics serves Prometheus text exposition by default; the JSON
+	// snapshot stays reachable via Accept: application/json or /metrics.json.
+	writeMetricsJSON := func(w http.ResponseWriter) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(liveRegistry.Load().Snapshot())
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/json") {
+			writeMetricsJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = liveRegistry.Load().Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		writeMetricsJSON(w)
 	})
 	mux.Handle("/v1/", v1)
 
@@ -254,6 +312,8 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	if node != nil {
 		node.Close()
 	}
+	close(samplerStop)
+	<-samplerDone
 	draining.Store(true)
 	grace := opts.drainGrace
 	if grace == 0 {

@@ -70,13 +70,42 @@ func TestRunServeShutdownNoLeak(t *testing.T) {
 		}, &out)
 	}()
 
-	// The server must answer while the suite runs / idles.
+	// The server must answer while the suite runs / idles. The JSON snapshot
+	// moved to /metrics.json (and stays on /metrics under Accept).
 	tr := &http.Transport{}
 	client := &http.Client{Transport: tr, Timeout: 2 * time.Second}
 	var snap obs.Snapshot
-	if err := pollJSON(client, "http://"+addr+"/metrics", &snap); err != nil {
+	if err := pollJSON(client, "http://"+addr+"/metrics.json", &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	// /metrics itself is Prometheus text exposition — parser-verified.
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
 		t.Fatalf("/metrics: %v", err)
 	}
+	fams, err := obs.ParseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus exposition: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Error("/metrics exposition is empty")
+	}
+	// JSON content negotiation on /metrics proper.
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var negotiated obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&negotiated); err != nil {
+		t.Errorf("/metrics with Accept: application/json not JSON: %v", err)
+	}
+	resp.Body.Close()
 	var vars struct {
 		Uninet *obs.Snapshot `json:"uninet"`
 	}

@@ -1,0 +1,483 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"universalnet/internal/obs"
+)
+
+// cmdTrace joins per-node JSONL trace files (serve -trace) into distributed
+// traces and prints per-trace waterfalls, self-time stage attribution, and
+// aggregate per-span-name latency percentiles. With -check-metrics it also
+// fetches a /metrics endpoint and validates the Prometheus exposition.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	top := fs.Int("top", 3, "print waterfalls for the N slowest traces")
+	id := fs.String("id", "", "print only the trace with this 32-hex ID")
+	minMS := fs.Float64("min-ms", 0, "only consider traces at least this slow for waterfalls")
+	jsonOut := fs.Bool("json", false, "emit the joined analysis as JSON")
+	assertJoined := fs.Int("assert-joined", 0, "fail unless at least N traces join spans from ≥2 nodes with full parentage")
+	checkMetrics := fs.String("check-metrics", "", "fetch this URL and validate it as Prometheus text exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 && *checkMetrics == "" {
+		return fmt.Errorf("usage: uninet trace [flags] node1.jsonl [node2.jsonl ...]")
+	}
+
+	if *checkMetrics != "" {
+		if err := validateMetricsURL(*checkMetrics, os.Stdout); err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+	}
+
+	spans, skipped, err := loadSpans(files)
+	if err != nil {
+		return err
+	}
+	traces := groupTraces(spans)
+	if *id != "" {
+		kept := traces[:0]
+		for _, tr := range traces {
+			if tr.id == *id {
+				kept = append(kept, tr)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("trace %s not found in %d traces", *id, len(traces))
+		}
+		traces = kept
+	}
+	joined := 0
+	for _, tr := range traces {
+		if tr.joined {
+			joined++
+		}
+	}
+
+	if *jsonOut {
+		if err := writeTraceJSON(os.Stdout, spans, skipped, traces, joined); err != nil {
+			return err
+		}
+	} else {
+		printTraceReport(os.Stdout, spans, skipped, traces, joined, *top, *minMS)
+	}
+	if *assertJoined > 0 && joined < *assertJoined {
+		return fmt.Errorf("assert-joined: %d cross-node joined traces, want ≥ %d", joined, *assertJoined)
+	}
+	return nil
+}
+
+// validateMetricsURL fetches url and runs the exposition parser over it.
+func validateMetricsURL(url string, out io.Writer) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("check-metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("check-metrics: %s answered %d", url, resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("check-metrics: invalid exposition from %s: %w", url, err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Fprintf(out, "check-metrics: %s OK — %d families, %d samples\n", url, len(fams), samples)
+	return nil
+}
+
+// traceSpan is one span plus its resolved children.
+type traceSpan struct {
+	ev       obs.SpanEvent
+	node     string
+	children []*traceSpan
+}
+
+// loadSpans reads every traced span (spans without trace IDs — the flat
+// run-profiling spans of experiments — are counted as skipped).
+func loadSpans(files []string) (spans []*traceSpan, skipped int, err error) {
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(strings.TrimSpace(sc.Text())) == 0 {
+				continue
+			}
+			var ev obs.SpanEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				f.Close()
+				return nil, 0, fmt.Errorf("%s:%d: bad span line: %v", path, line, err)
+			}
+			if ev.Trace == "" {
+				skipped++
+				continue
+			}
+			node, _ := ev.Attrs["node"].(string)
+			spans = append(spans, &traceSpan{ev: ev, node: node})
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("%s: %v", path, err)
+		}
+		f.Close()
+	}
+	return spans, skipped, nil
+}
+
+// traceGroup is one joined trace.
+type traceGroup struct {
+	id      string
+	spans   []*traceSpan
+	roots   []*traceSpan
+	nodes   []string
+	orphans int  // spans whose parent is missing from the trace
+	joined  bool // ≥2 nodes and no orphans
+	totalUS int64
+}
+
+// groupTraces joins spans by trace ID, builds each trace's span forest, and
+// sorts traces slowest-first.
+func groupTraces(spans []*traceSpan) []*traceGroup {
+	byTrace := map[string][]*traceSpan{}
+	for _, s := range spans {
+		byTrace[s.ev.Trace] = append(byTrace[s.ev.Trace], s)
+	}
+	traces := make([]*traceGroup, 0, len(byTrace))
+	for id, ss := range byTrace {
+		tr := &traceGroup{id: id, spans: ss}
+		byID := make(map[string]*traceSpan, len(ss))
+		nodes := map[string]bool{}
+		for _, s := range ss {
+			if s.ev.SpanID != "" {
+				byID[s.ev.SpanID] = s
+			}
+			if s.node != "" {
+				nodes[s.node] = true
+			}
+		}
+		for _, s := range ss {
+			if s.ev.Parent == "" {
+				tr.roots = append(tr.roots, s)
+				continue
+			}
+			if p, ok := byID[s.ev.Parent]; ok {
+				p.children = append(p.children, s)
+			} else {
+				tr.orphans++
+				tr.roots = append(tr.roots, s) // render under the top level anyway
+			}
+		}
+		for n := range nodes {
+			tr.nodes = append(tr.nodes, n)
+		}
+		sort.Strings(tr.nodes)
+		for _, r := range tr.roots {
+			if r.ev.DurUS > tr.totalUS {
+				tr.totalUS = r.ev.DurUS
+			}
+		}
+		sortSpanTree(tr.roots)
+		tr.joined = len(tr.nodes) >= 2 && tr.orphans == 0
+		traces = append(traces, tr)
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		if traces[i].totalUS != traces[j].totalUS {
+			return traces[i].totalUS > traces[j].totalUS
+		}
+		return traces[i].id < traces[j].id
+	})
+	return traces
+}
+
+func sortSpanTree(spans []*traceSpan) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].ev.StartUS != spans[j].ev.StartUS {
+			return spans[i].ev.StartUS < spans[j].ev.StartUS
+		}
+		return spans[i].ev.SpanID < spans[j].ev.SpanID
+	})
+	for _, s := range spans {
+		sortSpanTree(s.children)
+	}
+}
+
+// selfTimes attributes each span's self time (duration minus nested child
+// durations, clamped at 0) per span name. Self times of a well-nested trace
+// sum to the root duration — the "where did the latency go" decomposition
+// the acceptance criterion checks against client-observed latency.
+func selfTimes(tr *traceGroup) map[string]int64 {
+	out := map[string]int64{}
+	var walk func(s *traceSpan)
+	walk = func(s *traceSpan) {
+		var childUS int64
+		for _, c := range s.children {
+			childUS += c.ev.DurUS
+			walk(c)
+		}
+		self := s.ev.DurUS - childUS
+		if self < 0 {
+			self = 0
+		}
+		out[s.ev.Span] += self
+	}
+	for _, r := range tr.roots {
+		walk(r)
+	}
+	return out
+}
+
+// criticalPath walks the tree from the slowest root, at each level
+// descending into the longest child, and returns the span names along the
+// way — the chain an optimizer should attack first.
+func criticalPath(tr *traceGroup) []string {
+	if len(tr.roots) == 0 {
+		return nil
+	}
+	cur := tr.roots[0]
+	for _, r := range tr.roots[1:] {
+		if r.ev.DurUS > cur.ev.DurUS {
+			cur = r
+		}
+	}
+	var path []string
+	for cur != nil {
+		label := cur.ev.Span
+		if cur.node != "" {
+			label += "@" + cur.node
+		}
+		path = append(path, label)
+		var next *traceSpan
+		for _, c := range cur.children {
+			if next == nil || c.ev.DurUS > next.ev.DurUS {
+				next = c
+			}
+		}
+		cur = next
+	}
+	return path
+}
+
+// percentile picks the exact q-quantile of sorted durations.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// aggregate computes per-span-name duration percentiles across every trace.
+func aggregate(spans []*traceSpan) []aggRow {
+	byName := map[string][]int64{}
+	for _, s := range spans {
+		byName[s.ev.Span] = append(byName[s.ev.Span], s.ev.DurUS)
+	}
+	rows := make([]aggRow, 0, len(byName))
+	for name, durs := range byName {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		rows = append(rows, aggRow{
+			Span:  name,
+			Count: len(durs),
+			P50US: percentile(durs, 0.50),
+			P95US: percentile(durs, 0.95),
+			P99US: percentile(durs, 0.99),
+			MaxUS: durs[len(durs)-1],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].P99US > rows[j].P99US })
+	return rows
+}
+
+type aggRow struct {
+	Span  string `json:"span"`
+	Count int    `json:"count"`
+	P50US int64  `json:"p50_us"`
+	P95US int64  `json:"p95_us"`
+	P99US int64  `json:"p99_us"`
+	MaxUS int64  `json:"max_us"`
+}
+
+const waterfallWidth = 40
+
+// printWaterfall renders one trace's span tree with bars positioned on the
+// root span's timeline.
+func printWaterfall(w io.Writer, tr *traceGroup) {
+	var t0 int64
+	if len(tr.roots) > 0 {
+		t0 = tr.roots[0].ev.StartUS
+		for _, r := range tr.roots {
+			if r.ev.StartUS < t0 {
+				t0 = r.ev.StartUS
+			}
+		}
+	}
+	total := tr.totalUS
+	if total <= 0 {
+		total = 1
+	}
+	var walk func(s *traceSpan, depth int)
+	walk = func(s *traceSpan, depth int) {
+		off := int(float64(s.ev.StartUS-t0) / float64(total) * waterfallWidth)
+		width := int(float64(s.ev.DurUS) / float64(total) * waterfallWidth)
+		if off < 0 {
+			off = 0
+		}
+		if off > waterfallWidth {
+			off = waterfallWidth
+		}
+		if width < 1 {
+			width = 1
+		}
+		if off+width > waterfallWidth {
+			width = waterfallWidth - off
+			if width < 1 {
+				width = 1
+				off = waterfallWidth - 1
+			}
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("█", width)
+		label := strings.Repeat("  ", depth) + s.ev.Span
+		node := s.node
+		if node != "" {
+			node = "@" + node
+		}
+		fmt.Fprintf(w, "  %-28s %9.3fms |%-*s| %s\n",
+			label, float64(s.ev.DurUS)/1000, waterfallWidth, bar, node)
+		for _, c := range s.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r, 0)
+	}
+}
+
+func printTraceReport(w io.Writer, spans []*traceSpan, skipped int, traces []*traceGroup, joined, top int, minMS float64) {
+	fmt.Fprintf(w, "uninet trace: %d traced spans, %d traces (%d cross-node joined), %d traceless spans skipped\n",
+		len(spans), len(traces), joined, skipped)
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\naggregate span latencies (µs):\n")
+	fmt.Fprintf(w, "  %-28s %7s %9s %9s %9s %9s\n", "span", "count", "p50", "p95", "p99", "max")
+	for _, row := range aggregate(spans) {
+		fmt.Fprintf(w, "  %-28s %7d %9d %9d %9d %9d\n",
+			row.Span, row.Count, row.P50US, row.P95US, row.P99US, row.MaxUS)
+	}
+
+	shown := 0
+	for _, tr := range traces {
+		if shown >= top {
+			break
+		}
+		if float64(tr.totalUS)/1000 < minMS {
+			continue
+		}
+		shown++
+		state := "single-node"
+		if tr.joined {
+			state = fmt.Sprintf("joined across %d nodes", len(tr.nodes))
+		} else if tr.orphans > 0 {
+			state = fmt.Sprintf("%d orphan spans", tr.orphans)
+		}
+		fmt.Fprintf(w, "\ntrace %s  total %.3fms  %d spans  %s\n",
+			tr.id, float64(tr.totalUS)/1000, len(tr.spans), state)
+		printWaterfall(w, tr)
+		self := selfTimes(tr)
+		names := make([]string, 0, len(self))
+		for n := range self {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if self[names[i]] != self[names[j]] {
+				return self[names[i]] > self[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		var sum int64
+		fmt.Fprintf(w, "  self-time attribution:")
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%.3fms", n, float64(self[n])/1000)
+			sum += self[n]
+		}
+		fmt.Fprintf(w, " (sum %.3fms)\n", float64(sum)/1000)
+		fmt.Fprintf(w, "  critical path: %s\n", strings.Join(criticalPath(tr), " → "))
+	}
+}
+
+// traceJSON is the -json document.
+type traceJSON struct {
+	Spans     int             `json:"spans"`
+	Skipped   int             `json:"skipped"`
+	Traces    int             `json:"traces"`
+	Joined    int             `json:"joined"`
+	Aggregate []aggRow        `json:"aggregate"`
+	Top       []traceJSONItem `json:"top"`
+}
+
+type traceJSONItem struct {
+	ID           string           `json:"id"`
+	TotalUS      int64            `json:"total_us"`
+	Spans        int              `json:"spans"`
+	Nodes        []string         `json:"nodes"`
+	Joined       bool             `json:"joined"`
+	Orphans      int              `json:"orphans"`
+	SelfUS       map[string]int64 `json:"self_us"`
+	CriticalPath []string         `json:"critical_path"`
+}
+
+func writeTraceJSON(w io.Writer, spans []*traceSpan, skipped int, traces []*traceGroup, joined int) error {
+	doc := traceJSON{
+		Spans:     len(spans),
+		Skipped:   skipped,
+		Traces:    len(traces),
+		Joined:    joined,
+		Aggregate: aggregate(spans),
+	}
+	for i, tr := range traces {
+		if i >= 10 {
+			break
+		}
+		doc.Top = append(doc.Top, traceJSONItem{
+			ID:           tr.id,
+			TotalUS:      tr.totalUS,
+			Spans:        len(tr.spans),
+			Nodes:        tr.nodes,
+			Joined:       tr.joined,
+			Orphans:      tr.orphans,
+			SelfUS:       selfTimes(tr),
+			CriticalPath: criticalPath(tr),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

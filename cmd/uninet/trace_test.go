@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"universalnet/internal/obs"
+)
+
+// writeSpanFile writes events as one node's JSONL trace file.
+func writeSpanFile(t *testing.T, dir, name string, events []obs.SpanEvent) string {
+	t.Helper()
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// twoNodeTrace fabricates the canonical forwarded request: ingress node A
+// (root + forward + encode), owner node B (root parented under A's forward
+// span + compute).
+func twoNodeTrace(t *testing.T, dir string) (fileA, fileB, traceID string) {
+	t.Helper()
+	traceID = "0123456789abcdef0123456789abcdef"
+	const (
+		rootA    = "aaaaaaaaaaaaaaa1"
+		forwardA = "aaaaaaaaaaaaaaa2"
+		encodeA  = "aaaaaaaaaaaaaaa3"
+		rootB    = "bbbbbbbbbbbbbbb1"
+		computeB = "bbbbbbbbbbbbbbb2"
+	)
+	fileA = writeSpanFile(t, dir, "nodeA.jsonl", []obs.SpanEvent{
+		// A flat experiment span without trace identity must be skipped.
+		{Span: "experiment", ID: 1, StartUS: 50, DurUS: 10},
+		{Span: "http.request", Trace: traceID, SpanID: rootA, StartUS: 100, DurUS: 1000,
+			Attrs: map[string]any{"node": "a:1", "endpoint": "simulate", "route": "forwarded"}},
+		{Span: "forward", Trace: traceID, SpanID: forwardA, Parent: rootA, StartUS: 150, DurUS: 800,
+			Attrs: map[string]any{"node": "a:1"}},
+		{Span: "encode", Trace: traceID, SpanID: encodeA, Parent: rootA, StartUS: 960, DurUS: 100,
+			Attrs: map[string]any{"node": "a:1"}},
+	})
+	fileB = writeSpanFile(t, dir, "nodeB.jsonl", []obs.SpanEvent{
+		{Span: "http.request", Trace: traceID, SpanID: rootB, Parent: forwardA, StartUS: 200, DurUS: 600,
+			Attrs: map[string]any{"node": "b:1", "endpoint": "simulate", "route": "local"}},
+		{Span: "compute", Trace: traceID, SpanID: computeB, Parent: rootB, StartUS: 250, DurUS: 500,
+			Attrs: map[string]any{"node": "b:1"}},
+	})
+	return fileA, fileB, traceID
+}
+
+func TestTraceJoinAcrossNodes(t *testing.T) {
+	dir := t.TempDir()
+	fileA, fileB, traceID := twoNodeTrace(t, dir)
+
+	spans, skipped, err := loadSpans([]string{fileA, fileB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d traceless spans, want 1", skipped)
+	}
+	if len(spans) != 5 {
+		t.Fatalf("loaded %d spans, want 5", len(spans))
+	}
+	traces := groupTraces(spans)
+	if len(traces) != 1 {
+		t.Fatalf("%d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.id != traceID {
+		t.Fatalf("trace id %q", tr.id)
+	}
+	if !tr.joined {
+		t.Fatalf("trace not joined: nodes=%v orphans=%d", tr.nodes, tr.orphans)
+	}
+	if len(tr.nodes) != 2 || tr.nodes[0] != "a:1" || tr.nodes[1] != "b:1" {
+		t.Fatalf("nodes %v", tr.nodes)
+	}
+	if tr.totalUS != 1000 {
+		t.Fatalf("total %dµs, want 1000 (ingress root)", tr.totalUS)
+	}
+
+	// Self-time attribution sums to the client-observed (root) latency:
+	// root 1000 − (forward 800 + encode 100) = 100 self; forward 800 −
+	// nested owner 600 = 200; owner root 600 − compute 500 = 100.
+	self := selfTimes(tr)
+	var sum int64
+	for _, v := range self {
+		sum += v
+	}
+	if sum != tr.totalUS {
+		t.Fatalf("self times sum %d != root %d (%v)", sum, tr.totalUS, self)
+	}
+	if self["compute"] != 500 || self["forward"] != 200 || self["encode"] != 100 {
+		t.Fatalf("unexpected attribution %v", self)
+	}
+
+	// The critical path descends through the forward hop into the owner's
+	// compute.
+	path := criticalPath(tr)
+	want := []string{"http.request@a:1", "forward@a:1", "http.request@b:1", "compute@b:1"}
+	if len(path) != len(want) {
+		t.Fatalf("critical path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("critical path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestTraceOrphanNotJoined(t *testing.T) {
+	dir := t.TempDir()
+	file := writeSpanFile(t, dir, "orphan.jsonl", []obs.SpanEvent{
+		{Span: "http.request", Trace: strings.Repeat("1", 32), SpanID: "00000000000000a1",
+			Parent: "00000000000000ff", StartUS: 0, DurUS: 10,
+			Attrs: map[string]any{"node": "a"}},
+		{Span: "compute", Trace: strings.Repeat("1", 32), SpanID: "00000000000000a2",
+			Parent: "00000000000000a1", StartUS: 1, DurUS: 5,
+			Attrs: map[string]any{"node": "b"}},
+	})
+	spans, _, err := loadSpans([]string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := groupTraces(spans)
+	if len(traces) != 1 {
+		t.Fatal("want one trace")
+	}
+	if traces[0].joined {
+		t.Fatal("trace with an unresolved parent must not count as joined")
+	}
+	if traces[0].orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", traces[0].orphans)
+	}
+}
+
+func TestCmdTraceAssertJoined(t *testing.T) {
+	dir := t.TempDir()
+	fileA, fileB, _ := twoNodeTrace(t, dir)
+
+	// Redirect the report away from the test output.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	if err := cmdTrace([]string{"-assert-joined", "1", fileA, fileB}); err != nil {
+		t.Fatalf("assert-joined 1 failed on a joined trace: %v", err)
+	}
+	if err := cmdTrace([]string{"-assert-joined", "2", fileA, fileB}); err == nil {
+		t.Fatal("assert-joined 2 passed with only one joined trace")
+	}
+	if err := cmdTrace([]string{"-json", fileA, fileB}); err != nil {
+		t.Fatalf("-json: %v", err)
+	}
+	if err := cmdTrace([]string{}); err == nil {
+		t.Fatal("no files accepted")
+	}
+}
+
+func TestTracePercentileExact(t *testing.T) {
+	sorted := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.5, 5}, {0.95, 10}, {0.99, 10}, {0.1, 1}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("percentile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile non-zero")
+	}
+}

@@ -17,6 +17,13 @@
 // p50/p95/p99/max) and into an obs histogram whose snapshot rides along in
 // the -json report next to the server's own /v1/status.
 //
+// With -stamp-traces every request carries a client-chosen trace ID in
+// X-Uninet-Trace (deterministic under -trace-seed), so the per-node JSONL
+// trace files can be joined back to individual load-generator requests with
+// `uninet trace`. A tracing server echoes the trace ID on the response; the
+// report counts how many stamped requests were echoed back joined, and
+// -assert-trace-joins turns zero joins into a nonzero exit.
+//
 // Cluster mode (-peers A1,A2,...) spreads requests round-robin across the
 // nodes with client-side failover: a transport error moves the request to
 // the next peer instead of failing it. The report then splits by serving
@@ -43,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"universalnet/internal/cluster"
 	"universalnet/internal/faults"
 	"universalnet/internal/obs"
 	"universalnet/internal/service"
@@ -73,10 +81,14 @@ type opts struct {
 	chaosSeed int64
 	pids      []int
 
+	stampTraces bool
+	traceSeed   int64
+
 	assertRejections bool
 	assertCacheHits  bool
 	assertForwards   bool
 	assertFailovers  bool
+	assertTraceJoins bool
 	assertMaxP99MS   float64
 }
 
@@ -102,10 +114,13 @@ func main() {
 	fs.StringVar(&o.chaos, "chaos", "", "cluster chaos scenario: "+strings.Join(faults.ClusterScenarioNames(), "|")+" (kill events need -pids)")
 	fs.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed of the chaos scenario's deterministic schedule")
 	pids := fs.String("pids", "", "comma-separated server PIDs aligned with -peers, targets of chaos kill events")
+	fs.BoolVar(&o.stampTraces, "stamp-traces", false, "stamp every request with a client-chosen X-Uninet-Trace ID")
+	fs.Int64Var(&o.traceSeed, "trace-seed", 1, "seed of the deterministic stamped trace-ID stream")
 	fs.BoolVar(&o.assertRejections, "assert-rejections", false, "exit nonzero unless at least one request was rejected (429)")
 	fs.BoolVar(&o.assertCacheHits, "assert-cache-hits", false, "exit nonzero unless the server reports result-cache hits")
 	fs.BoolVar(&o.assertForwards, "assert-forwards", false, "exit nonzero unless at least one response was peer-forwarded")
 	fs.BoolVar(&o.assertFailovers, "assert-failovers", false, "exit nonzero unless at least one response was a local fallback")
+	fs.BoolVar(&o.assertTraceJoins, "assert-trace-joins", false, "exit nonzero unless at least one stamped trace ID was echoed back (needs -stamp-traces)")
 	fs.Float64Var(&o.assertMaxP99MS, "assert-max-p99-ms", 0, "exit nonzero when p99 latency exceeds this many ms (0 = off)")
 	_ = fs.Parse(os.Args[1:])
 	for _, p := range strings.Split(*peers, ",") {
@@ -146,6 +161,8 @@ type outcome struct {
 	key       string // request tuple, the consistency-check unit
 	body      []byte // 200 response body (consistency fingerprinting)
 	failovers int    // client-side peer switches before an answer
+	sentTrace string // stamped X-Uninet-Trace trace ID ("" unstamped)
+	echoTrace string // trace ID the server echoed back ("" when not tracing)
 }
 
 // nodeReport is one serving node's latency/volume split in cluster mode.
@@ -181,6 +198,9 @@ type report struct {
 	RouteFallback   int          `json:"route_fallback,omitempty"`
 	ClientFailovers int          `json:"client_failovers,omitempty"`
 	Inconsistent    int          `json:"inconsistent,omitempty"`
+	TraceStamped    int          `json:"trace_stamped,omitempty"`
+	TraceJoined     int          `json:"trace_joined,omitempty"`
+	TraceMismatched int          `json:"trace_mismatched,omitempty"`
 	PerNode         []nodeReport `json:"per_node,omitempty"`
 	ChaosApplied    []string     `json:"chaos_applied,omitempty"`
 
@@ -256,10 +276,21 @@ func run(o opts, out io.Writer) error {
 		return seq
 	}
 
+	// One trace ID per logical request — failover retries reuse it, because
+	// the dead attempt never produced spans to collide with.
+	var ids *obs.IDSource
+	if o.stampTraces {
+		ids = obs.NewIDSource(o.traceSeed)
+	}
+
 	start := time.Now()
 	stop := start.Add(o.duration)
 	fire := func(i int64) outcome {
-		return shootFailover(client, targets, o, i)
+		var traceHdr string
+		if ids != nil {
+			traceHdr = obs.SpanContext{Trace: ids.TraceID()}.HeaderValue()
+		}
+		return shootFailover(client, targets, o, i, traceHdr)
 	}
 
 	// The chaos driver replays the plan's node events against the live
@@ -363,6 +394,17 @@ func run(o opts, out io.Writer) error {
 	if o.assertFailovers && rep.RouteFallback == 0 {
 		return fmt.Errorf("assert-failovers: no response was served as a local fallback")
 	}
+	if rep.TraceMismatched > 0 {
+		return fmt.Errorf("%d responses echoed a different trace ID than was stamped", rep.TraceMismatched)
+	}
+	if o.assertTraceJoins {
+		if !o.stampTraces {
+			return fmt.Errorf("assert-trace-joins needs -stamp-traces")
+		}
+		if rep.TraceJoined == 0 {
+			return fmt.Errorf("assert-trace-joins: no stamped trace ID was echoed back (is the server tracing?)")
+		}
+	}
 	if o.assertMaxP99MS > 0 && rep.P99MS > o.assertMaxP99MS {
 		return fmt.Errorf("assert-max-p99-ms: p99 %.3fms exceeds bound %.3fms", rep.P99MS, o.assertMaxP99MS)
 	}
@@ -422,11 +464,11 @@ func applyNodeEvent(ev faults.NodeEvent, pids []int, peers []string) string {
 // a dead node costs one connection refusal, not a failed request. Any HTTP
 // response settles the request (the serving tier already did its own
 // forwarding/fallback).
-func shootFailover(client *http.Client, targets []string, o opts, i int64) outcome {
+func shootFailover(client *http.Client, targets []string, o opts, i int64, traceHdr string) outcome {
 	first := int(i % int64(len(targets)))
 	var oc outcome
 	for k := 0; k < len(targets); k++ {
-		oc = shoot(client, targets[(first+k)%len(targets)], o, i)
+		oc = shoot(client, targets[(first+k)%len(targets)], o, i, traceHdr)
 		oc.failovers = k
 		if oc.err == nil {
 			return oc
@@ -437,8 +479,9 @@ func shootFailover(client *http.Client, targets []string, o opts, i int64) outco
 
 // shoot fires one request and measures it. The i-th request derives its
 // seed from the cycle, so -seeds 1 replays one cache key forever while a
-// large -seeds forces fresh computations.
-func shoot(client *http.Client, base string, o opts, i int64) outcome {
+// large -seeds forces fresh computations. A nonempty traceHdr is stamped
+// into X-Uninet-Trace so the server joins its spans to our trace ID.
+func shoot(client *http.Client, base string, o opts, i int64, traceHdr string) outcome {
 	kind := o.endpoint
 	if kind == "mix" {
 		kind = []string{"simulate", "route", "embed"}[i%3]
@@ -458,11 +501,20 @@ func shoot(client *http.Client, base string, o opts, i int64) outcome {
 	}
 	buf, _ := json.Marshal(body)
 
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/"+kind, bytes.NewReader(buf))
+	if err != nil {
+		return outcome{err: err, target: base}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceHdr != "" {
+		req.Header.Set(cluster.TraceHeader, traceHdr)
+	}
+
 	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/"+kind, "application/json", bytes.NewReader(buf))
+	resp, err := client.Do(req)
 	lat := time.Since(t0).Microseconds()
 	if err != nil {
-		return outcome{latencyUS: lat, err: err, target: base}
+		return outcome{latencyUS: lat, err: err, target: base, sentTrace: traceHdr}
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -481,6 +533,8 @@ func shoot(client *http.Client, base string, o opts, i int64) outcome {
 		target:    node,
 		route:     resp.Header.Get(service.HeaderRoute),
 		key:       fmt.Sprintf("%s|%d", kind, seed),
+		sentTrace: traceHdr,
+		echoTrace: resp.Header.Get(cluster.TraceHeader),
 	}
 	if resp.StatusCode == http.StatusOK {
 		oc.body = raw
@@ -522,6 +576,19 @@ func summarize(o opts, outcomes []outcome, elapsed time.Duration) report {
 			perNodeTotal[oc.target]++
 		}
 		rep.ClientFailovers += oc.failovers
+		if oc.sentTrace != "" {
+			rep.TraceStamped++
+			if oc.status == http.StatusOK {
+				switch oc.echoTrace {
+				case oc.sentTrace:
+					rep.TraceJoined++
+				case "":
+					// Server not tracing — stamped but unjoined, not an error.
+				default:
+					rep.TraceMismatched++
+				}
+			}
+		}
 		switch {
 		case oc.status == http.StatusOK:
 			rep.OK++
@@ -606,6 +673,10 @@ func printReport(out io.Writer, rep report) {
 		rep.OK, rep.Cached, rep.Rejected, rep.Errors)
 	fmt.Fprintf(out, "  latency ms  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
 		rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	if rep.TraceStamped > 0 {
+		fmt.Fprintf(out, "  traces  stamped %d  joined %d  mismatched %d\n",
+			rep.TraceStamped, rep.TraceJoined, rep.TraceMismatched)
+	}
 	if len(rep.PerNode) > 0 {
 		fmt.Fprintf(out, "  routes  local %d  forwarded %d  fallback %d  client-failovers %d  inconsistent %d\n",
 			rep.RouteLocal, rep.RouteForwarded, rep.RouteFallback, rep.ClientFailovers, rep.Inconsistent)

@@ -2,8 +2,11 @@ package main
 
 import (
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
+
+	"universalnet/internal/cluster"
 )
 
 // TestSummarizeClusterSplits: route counts, per-node percentiles, client
@@ -65,6 +68,54 @@ func TestFingerprint(t *testing.T) {
 	}
 	if c := fingerprint([]byte(`{"checksum":8,"host":"torus"}`)); c == a {
 		t.Fatal("different checksums collide")
+	}
+}
+
+// TestSummarizeTraceJoins: stamped requests split into joined (echo matches),
+// unjoined (server not tracing), and mismatched (propagation bug).
+func TestSummarizeTraceJoins(t *testing.T) {
+	id1, id2 := "0123456789abcdef0123456789abcdef", "fedcba9876543210fedcba9876543210"
+	ocs := []outcome{
+		{status: 200, latencyUS: 1, sentTrace: id1, echoTrace: id1},
+		{status: 200, latencyUS: 1, sentTrace: id2, echoTrace: ""},
+		{status: 200, latencyUS: 1, sentTrace: id1, echoTrace: id2},
+		{status: 429, latencyUS: 1, sentTrace: id2, echoTrace: id2}, // non-200: stamped only
+		{status: 200, latencyUS: 1},                                 // unstamped
+	}
+	rep := summarize(opts{}, ocs, time.Second)
+	if rep.TraceStamped != 4 || rep.TraceJoined != 1 || rep.TraceMismatched != 1 {
+		t.Fatalf("stamped/joined/mismatched = %d/%d/%d, want 4/1/1",
+			rep.TraceStamped, rep.TraceJoined, rep.TraceMismatched)
+	}
+}
+
+// TestShootStampsTraceHeader: the wire side — a stamped request carries
+// X-Uninet-Trace, distinct requests carry distinct IDs, and the echoed
+// header lands in the outcome.
+func TestShootStampsTraceHeader(t *testing.T) {
+	var seen []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hdr := r.Header.Get(cluster.TraceHeader)
+		seen = append(seen, hdr)
+		w.Header().Set(cluster.TraceHeader, hdr)
+		w.Write([]byte(`{"cached":false}`))
+	}))
+	defer srv.Close()
+
+	o := opts{endpoint: "simulate", topology: "torus", n: 8, m: 4, steps: 1, deg: 2, seeds: 1, seedBase: 1}
+	client := srv.Client()
+
+	oc := shoot(client, srv.URL, o, 0, "")
+	if oc.sentTrace != "" || oc.echoTrace != "" || seen[0] != "" {
+		t.Fatalf("unstamped request leaked a trace header: %+v seen=%q", oc, seen[0])
+	}
+
+	ocA := shoot(client, srv.URL, o, 1, "0123456789abcdef0123456789abcdef")
+	if seen[1] != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("server saw %q, want the stamped trace", seen[1])
+	}
+	if ocA.echoTrace != ocA.sentTrace {
+		t.Fatalf("echo %q != sent %q", ocA.echoTrace, ocA.sentTrace)
 	}
 }
 

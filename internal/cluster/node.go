@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,13 @@ const HealthPath = "/v1/health"
 // serves locally, so a forward is at most one hop and rehashing races
 // cannot create routing loops.
 const ForwardedHeader = "X-Uninet-Forwarded"
+
+// TraceHeader carries the distributed-trace context of a forwarded request:
+// "<trace32>" or "<trace32>-<span16>" (obs.SpanContext wire form). The
+// owner's telemetry layer parses it and parents its root span under the
+// ingress node's forward span, so both nodes' JSONL spans join into one
+// trace.
+const TraceHeader = "X-Uninet-Trace"
 
 // PeerState is a peer's health as seen by this node.
 type PeerState int
@@ -338,12 +346,19 @@ func (n *Node) recordHeartbeat(addr string, ok bool) {
 	}
 }
 
-// ForwardResponse is the owner's answer, relayed verbatim.
+// ForwardResponse is the owner's answer, relayed verbatim. DialUS/SendUS/
+// WaitUS split the winning attempt's wall-clock into connection setup,
+// request write, and server think-time (µs; 0 when a phase was skipped, e.g.
+// a reused connection dials nothing) — the per-hop attribution the trace
+// waterfall shows as forward_dial/forward_send/forward_wait.
 type ForwardResponse struct {
 	Status      int
 	ContentType string
 	Body        []byte
 	Attempts    int
+	DialUS      int64
+	SendUS      int64
+	WaitUS      int64
 }
 
 // maxForwardBody bounds a relayed response body.
@@ -419,16 +434,39 @@ func (n *Node) Forward(ctx context.Context, owner, path string, body []byte) (*F
 	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrPeerUnreachable, owner, attempts, lastErr)
 }
 
-// post issues one forward attempt under the per-hop deadline.
+// post issues one forward attempt under the per-hop deadline, stamping the
+// caller's span context onto TraceHeader (when one is carried by ctx) and
+// splitting the attempt's wall-clock into dial/send/wait via httptrace.
+// The trace callbacks may fire on transport goroutines, hence the atomics.
 func (n *Node) post(ctx context.Context, owner, path string, body []byte) (*ForwardResponse, error) {
 	hctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
 	defer cancel()
+
+	var connStartUS, connDoneUS, wroteUS, firstByteUS atomic.Int64
+	hctx = httptrace.WithClientTrace(hctx, &httptrace.ClientTrace{
+		ConnectStart: func(string, string) {
+			connStartUS.CompareAndSwap(0, time.Now().UnixMicro())
+		},
+		GotConn: func(httptrace.GotConnInfo) {
+			connDoneUS.CompareAndSwap(0, time.Now().UnixMicro())
+		},
+		WroteRequest: func(httptrace.WroteRequestInfo) {
+			wroteUS.CompareAndSwap(0, time.Now().UnixMicro())
+		},
+		GotFirstResponseByte: func() {
+			firstByteUS.CompareAndSwap(0, time.Now().UnixMicro())
+		},
+	})
+
 	req, err := http.NewRequestWithContext(hctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		req.Header.Set(TraceHeader, sc.HeaderValue())
+	}
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -438,12 +476,29 @@ func (n *Node) post(ctx context.Context, owner, path string, body []byte) (*Forw
 	if err != nil {
 		return nil, err
 	}
-	return &ForwardResponse{
+	fr := &ForwardResponse{
 		Status:      resp.StatusCode,
 		ContentType: resp.Header.Get("Content-Type"),
 		Body:        b,
-	}, nil
+	}
+	if cs, cd := connStartUS.Load(), connDoneUS.Load(); cs > 0 && cd >= cs {
+		fr.DialUS = cd - cs
+	}
+	if cd, w := connDoneUS.Load(), wroteUS.Load(); cd > 0 && w >= cd {
+		fr.SendUS = w - cd
+	}
+	if w, fb := wroteUS.Load(), firstByteUS.Load(); w > 0 && fb >= w {
+		fr.WaitUS = fb - w
+	}
+	n.obs.Histogram("cluster.forward_dial_us", forwardPhaseBucketsUS).Observe(fr.DialUS)
+	n.obs.Histogram("cluster.forward_send_us", forwardPhaseBucketsUS).Observe(fr.SendUS)
+	n.obs.Histogram("cluster.forward_wait_us", forwardPhaseBucketsUS).Observe(fr.WaitUS)
+	return fr, nil
 }
+
+// forwardPhaseBucketsUS spans sub-ms LAN hops through multi-second stalls.
+var forwardPhaseBucketsUS = []int64{100, 250, 500, 1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000, 500000, 1000000, 2500000}
 
 // onForwardFailure records one transport failure against the peer's breaker.
 func (n *Node) onForwardFailure(p *peer) {

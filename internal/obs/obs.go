@@ -69,18 +69,57 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	sink     *TraceSink
+	ids      *IDSource
 	spanSeq  atomic.Int64
 }
 
-// New returns an empty registry on the system clock.
+// New returns an empty registry on the system clock, with a process-unique
+// trace/span ID stream (SetIDSeed pins it for tests).
 func New() *Registry {
 	return &Registry{
 		clock:    systemClock{},
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		ids:      NewIDSource(defaultIDSeed()),
 	}
 }
+
+// SetIDSeed replaces the trace/span ID stream with one that is a pure
+// function of seed, and returns r, for chaining. Tests use it to make span
+// identity deterministic.
+func (r *Registry) SetIDSeed(seed int64) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.ids = NewIDSource(seed)
+	r.mu.Unlock()
+	return r
+}
+
+// IDs returns the registry's trace/span ID source (nil on nil registry).
+func (r *Registry) IDs() *IDSource {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ids
+}
+
+// Sink returns the attached trace sink (nil when tracing is disabled).
+func (r *Registry) Sink() *TraceSink {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sink
+}
+
+// TraceEnabled reports whether a span sink is attached.
+func (r *Registry) TraceEnabled() bool { return r.Sink() != nil }
 
 // SetClock injects a clock (nil restores the system clock) and returns r,
 // for chaining.
@@ -272,6 +311,78 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values by
+// linear interpolation inside the bucket holding the target rank — the
+// standard fixed-bucket estimator. The first bucket interpolates from zero
+// (every recorded quantity is a nonnegative count or duration); ranks that
+// land in the overflow bucket report the largest bound, a deliberate
+// underestimate since the histogram does not know the true maximum.
+// Returns 0 with no observations. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileBuckets(h.bounds, counts, h.n.Load(), q)
+}
+
+// Quantile is the snapshot form of Histogram.Quantile.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileBuckets(hs.Bounds, hs.Counts, hs.Count, q)
+}
+
+// quantileBuckets is the shared linear-interpolation estimator.
+func quantileBuckets(bounds []int64, counts []int64, total int64, q float64) float64 {
+	if total <= 0 || len(counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			if i >= len(bounds) {
+				// Overflow bucket: no upper edge to interpolate toward.
+				if len(bounds) == 0 {
+					return 0
+				}
+				return float64(bounds[len(bounds)-1])
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(bounds[i-1])
+			}
+			return lo + (float64(bounds[i])-lo)*frac
+		}
+		cum += float64(c)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return float64(bounds[len(bounds)-1])
 }
 
 // HistogramSnapshot is the frozen state of one histogram. Counts has one

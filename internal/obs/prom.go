@@ -1,0 +1,531 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition for Snapshot, plus a small validating parser so
+// tests (and `uninet trace -check-metrics`) can assert that /metrics really
+// is well-formed exposition rather than eyeballing it.
+//
+// The registry is flat — instruments are identified by name only — so the
+// labeled-metric convention is syntactic: an instrument named
+//
+//	service.stage_us{endpoint="simulate",route="local",stage="compute"}
+//
+// is exposed as metric family service_stage_us with those labels. Names
+// without a '{' are unlabeled. Dots (and any other character outside
+// [a-zA-Z0-9_:]) in the family name become underscores; label keys are
+// sanitized the same way and label values are escaped per the exposition
+// format. Counters gain the conventional _total suffix; histograms emit
+// cumulative le buckets, +Inf, _sum, and _count.
+
+// promName sanitizes a family or label name into [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName splits the registry naming convention base{k="v",...}
+// into the sanitized family name and a sorted, escaped label list (possibly
+// empty). Malformed label suffixes are treated as part of the name and
+// sanitized away rather than rejected — exposition must never fail.
+func splitLabeledName(name string) (family string, labels []promLabel) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return promName(name), nil
+	}
+	base, body := name[:open], name[open+1:len(name)-1]
+	parsed, ok := parseLabelBody(body)
+	if !ok {
+		return promName(name), nil
+	}
+	return promName(base), parsed
+}
+
+type promLabel struct{ k, v string }
+
+// parseLabelBody parses `k="v",k2="v2"` (the convention used when naming
+// labeled instruments). Escapes in values are decoded here and re-applied at
+// write time, so convention and exposition agree on the literal value.
+func parseLabelBody(body string) ([]promLabel, bool) {
+	var out []promLabel
+	s := body
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				val.WriteByte(rest[i+1])
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if end < 0 {
+			return nil, false
+		}
+		out = append(out, promLabel{k: promName(key), v: val.String()})
+		s = rest[end+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out, true
+}
+
+// renderLabels renders a label set (plus optional extra pairs, already in
+// order) as {k="v",...}; empty input renders "".
+func renderLabels(labels []promLabel, extra ...promLabel) string {
+	all := make([]promLabel, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily groups one exposition family's samples.
+type promFamily struct {
+	name  string
+	kind  string // "counter", "gauge", "histogram"
+	lines []string
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format 0.0.4.
+// Families are emitted in sorted name order with # TYPE headers, so output
+// is deterministic for a fixed snapshot.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fams := map[string]*promFamily{}
+	add := func(name, kind string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	if s != nil {
+		for name, v := range s.Counters {
+			fam, labels := splitLabeledName(name)
+			fam += "_total"
+			f := add(fam, "counter")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", fam, renderLabels(labels), v))
+		}
+		for name, v := range s.Gauges {
+			fam, labels := splitLabeledName(name)
+			f := add(fam, "gauge")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", fam, renderLabels(labels), v))
+		}
+		for name, hs := range s.Histograms {
+			fam, labels := splitLabeledName(name)
+			f := add(fam, "histogram")
+			var cum int64
+			for i, b := range hs.Bounds {
+				if i < len(hs.Counts) {
+					cum += hs.Counts[i]
+				}
+				f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+					fam, renderLabels(labels, promLabel{k: "le", v: strconv.FormatInt(b, 10)}), cum))
+			}
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+				fam, renderLabels(labels, promLabel{k: "le", v: "+Inf"}), hs.Count))
+			f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %d", fam, renderLabels(labels), hs.Sum))
+			f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", fam, renderLabels(labels), hs.Count))
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		sort.Strings(f.lines)
+		for _, l := range f.lines {
+			if _, err := fmt.Fprintln(bw, l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed exposition family: the # TYPE declaration plus
+// every sample that belongs to it (including _bucket/_sum/_count samples of
+// a histogram family).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm parses and validates Prometheus text exposition 0.0.4. It
+// enforces the structural invariants tests care about: every sample belongs
+// to a declared family, names and label keys are well-formed, histogram
+// families have monotone cumulative buckets ending in a +Inf bucket whose
+// value matches _count. Returns families keyed by name.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("prom: line %d: invalid family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				fams[name] = &PromFamily{Name: name, Type: typ}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %v", lineNo, err)
+		}
+		fam := familyOf(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no TYPE declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkPromHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf resolves a sample name to its declared family, allowing the
+// histogram suffixes.
+func familyOf(fams map[string]*PromFamily, name string) *PromFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		end := -1
+		for j := i + 1; j < len(line); j++ {
+			if line[j] == '"' { // skip quoted values (with escapes)
+				for j++; j < len(line); j++ {
+					if line[j] == '\\' {
+						j++
+						continue
+					}
+					if line[j] == '"' {
+						break
+					}
+				}
+				continue
+			}
+			if line[j] == '}' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, ok := parsePromLabels(line[i+1 : end])
+		if !ok {
+			return s, fmt.Errorf("malformed labels in %q", line)
+		}
+		s.Labels = labels
+		i = end + 1
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	// A timestamp may follow the value; take the first field.
+	val := strings.Fields(rest)[0]
+	v, err := parsePromValue(val)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return float64(int64(1) << 62), nil
+	case "-Inf":
+		return -float64(int64(1) << 62), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parsePromLabels(body string) (map[string]string, bool) {
+	out := map[string]string{}
+	s := strings.TrimSuffix(body, ",")
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		if !validPromName(key) {
+			return nil, false
+		}
+		rest := s[eq+2:]
+		var val strings.Builder
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				end = i
+				break
+			}
+			val.WriteByte(c)
+		}
+		if end < 0 {
+			return nil, false
+		}
+		if _, dup := out[key]; dup {
+			return nil, false
+		}
+		out[key] = val.String()
+		s = rest[end+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	return out, true
+}
+
+// checkPromHistogram validates one histogram family: per label set (ignoring
+// le), buckets are cumulative non-decreasing in le order, a +Inf bucket
+// exists, and its value equals the _count sample.
+func checkPromHistogram(f *PromFamily) error {
+	type series struct {
+		buckets []PromSample
+		count   *float64
+	}
+	groups := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		ks := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		var b strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	group := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		g, ok := groups[k]
+		if !ok {
+			g = &series{}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("prom: histogram %s bucket without le label", f.Name)
+			}
+			group(s.Labels).buckets = append(group(s.Labels).buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			group(s.Labels).count = &v
+		}
+	}
+	for key, g := range groups {
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("prom: histogram %s{%s} has no buckets", f.Name, key)
+		}
+		sort.Slice(g.buckets, func(i, j int) bool {
+			return promLE(g.buckets[i].Labels["le"]) < promLE(g.buckets[j].Labels["le"])
+		})
+		last := g.buckets[len(g.buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return fmt.Errorf("prom: histogram %s{%s} missing +Inf bucket", f.Name, key)
+		}
+		var prev float64
+		for _, b := range g.buckets {
+			if b.Value < prev {
+				return fmt.Errorf("prom: histogram %s{%s} buckets not cumulative at le=%s",
+					f.Name, key, b.Labels["le"])
+			}
+			prev = b.Value
+		}
+		if g.count != nil && *g.count != last.Value {
+			return fmt.Errorf("prom: histogram %s{%s} +Inf bucket %v != count %v",
+				f.Name, key, last.Value, *g.count)
+		}
+	}
+	return nil
+}
+
+func promLE(s string) float64 {
+	if s == "+Inf" {
+		return float64(int64(1) << 62)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return float64(int64(1) << 62)
+	}
+	return v
+}

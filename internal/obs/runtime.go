@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler folds Go runtime health into a registry so /metrics covers
+// process health — goroutine count, heap bytes, GC activity — not just
+// domain counters. Gauges use plain Set (last sample wins; runtime state is
+// inherently non-deterministic and these names never enter byte-identical
+// snapshot comparisons), the GC-run counter advances by NumGC deltas, and
+// individual GC pauses land in a histogram via the PauseNs ring.
+type RuntimeSampler struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcRuns     *Counter
+	gcPauseUS  *Histogram
+	lastNumGC  uint32
+}
+
+// gcPauseBucketsUS spans sub-100µs young-gen pauses through pathological
+// 100ms+ stalls.
+var gcPauseBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// NewRuntimeSampler resolves the runtime instruments on r. Nil registry →
+// sampler whose Sample no-ops (nil instruments).
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		goroutines: r.Gauge("runtime.goroutines"),
+		heapAlloc:  r.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:    r.Gauge("runtime.heap_sys_bytes"),
+		gcRuns:     r.Counter("runtime.gc_runs"),
+		gcPauseUS:  r.Histogram("runtime.gc_pause_us", gcPauseBucketsUS),
+	}
+}
+
+// Sample takes one reading. Not safe for concurrent use with itself (the
+// NumGC delta tracking is single-consumer); the serve loop calls it from one
+// ticker goroutine.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.heapAlloc.Set(int64(m.HeapAlloc))
+	s.heapSys.Set(int64(m.HeapSys))
+	if n := m.NumGC - s.lastNumGC; n > 0 {
+		s.gcRuns.Add(int64(n))
+		// PauseNs is a ring of the last 256 pauses indexed by NumGC.
+		if n > uint32(len(m.PauseNs)) {
+			n = uint32(len(m.PauseNs))
+		}
+		for i := uint32(0); i < n; i++ {
+			idx := (m.NumGC - i + uint32(len(m.PauseNs)) - 1) % uint32(len(m.PauseNs))
+			s.gcPauseUS.Observe(int64(m.PauseNs[idx] / 1000))
+		}
+		s.lastNumGC = m.NumGC
+	}
+}
+
+// Run samples every interval until stop is closed, taking one final sample
+// on the way out so short-lived processes still report. Intended to be run
+// as a goroutine: `go sampler.Run(5*time.Second, stopCh)`.
+func (s *RuntimeSampler) Run(interval time.Duration, stop <-chan struct{}) {
+	if s == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	s.Sample()
+	for {
+		select {
+		case <-t.C:
+			s.Sample()
+		case <-stop:
+			s.Sample()
+			return
+		}
+	}
+}

@@ -32,14 +32,25 @@ func NewTraceSink(w io.Writer) *TraceSink {
 	return s
 }
 
-// SpanEvent is the JSONL record of one completed span.
+// SpanEvent is the JSONL record of one completed span. Trace, SpanID, and
+// Parent (hex, see ids.go) are set only for spans that belong to a
+// distributed trace; the flat run-profiling spans of experiments predate
+// them and omit all three.
 type SpanEvent struct {
 	Span    string         `json:"span"`
 	ID      int64          `json:"id"`
+	Trace   string         `json:"trace,omitempty"`
+	SpanID  string         `json:"span_id,omitempty"`
+	Parent  string         `json:"parent,omitempty"`
 	StartUS int64          `json:"start_us"` // µs since Unix epoch
 	DurUS   int64          `json:"dur_us"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
+
+// Emit writes one externally assembled span event. The telemetry layers use
+// it to emit span trees whose IDs and timings were collected without a live
+// Span (per-stage request telemetry). Nil-safe.
+func (s *TraceSink) Emit(ev SpanEvent) { s.emit(ev) }
 
 func (s *TraceSink) emit(ev SpanEvent) {
 	if s == nil {
@@ -85,12 +96,24 @@ func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
 
 // Span is one timed region of a run. A nil span (tracing disabled) no-ops.
 type Span struct {
-	r     *Registry
-	sink  *TraceSink
-	name  string
-	id    int64
-	start time.Time
-	attrs map[string]any
+	r      *Registry
+	sink   *TraceSink
+	name   string
+	id     int64
+	start  time.Time
+	attrs  map[string]any
+	trace  TraceID
+	spanID SpanID
+	parent SpanID
+}
+
+// Context returns the span's identity for propagation (zero when the span
+// carries no trace — plain StartSpan spans). Nil-safe.
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: sp.trace, Span: sp.spanID}
 }
 
 // StartSpan opens a span when a trace sink is attached; otherwise it returns
@@ -119,6 +142,44 @@ func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
 	return sp
 }
 
+// StartSpanCtx opens a child span of the span context carried by ctx (a
+// fresh root when ctx carries none) and returns ctx re-wrapped with the new
+// span's context, so nested calls build a joinable tree. With no sink
+// attached it returns ctx unchanged and a nil span — zero allocations, the
+// disabled-tracing contract the alloc pin enforces.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	r.mu.Lock()
+	sink := r.sink
+	clock := r.clock
+	ids := r.ids
+	r.mu.Unlock()
+	if sink == nil {
+		return ctx, nil
+	}
+	parent := SpanFromContext(ctx)
+	trace := parent.Trace
+	if trace.IsZero() {
+		trace = ids.TraceID()
+	}
+	sp := &Span{
+		r:      r,
+		sink:   sink,
+		name:   name,
+		id:     r.spanSeq.Add(1),
+		start:  clock.Now(),
+		trace:  trace,
+		spanID: ids.SpanID(),
+		parent: parent.Span,
+	}
+	for _, a := range attrs {
+		sp.Annotate(a.Key, a.Value)
+	}
+	return ContextWithSpan(ctx, SpanContext{Trace: trace, Span: sp.spanID}), sp
+}
+
 // Annotate attaches (or overwrites) one attribute. Nil-safe.
 func (sp *Span) Annotate(key string, value any) {
 	if sp == nil {
@@ -136,13 +197,21 @@ func (sp *Span) End() {
 		return
 	}
 	end := sp.r.Now()
-	sp.sink.emit(SpanEvent{
+	ev := SpanEvent{
 		Span:    sp.name,
 		ID:      sp.id,
 		StartUS: sp.start.UnixMicro(),
 		DurUS:   end.Sub(sp.start).Microseconds(),
 		Attrs:   sp.attrs,
-	})
+	}
+	if !sp.trace.IsZero() {
+		ev.Trace = sp.trace.String()
+		ev.SpanID = sp.spanID.String()
+		if sp.parent != 0 {
+			ev.Parent = sp.parent.String()
+		}
+	}
+	sp.sink.emit(ev)
 }
 
 // ctxKey is the private context key for registry plumbing.

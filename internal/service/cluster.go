@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
 )
 
 // Response headers the cluster layer stamps on every /v1 answer, so a
@@ -109,15 +111,15 @@ func ClusterHandler(s *Service, node *cluster.Node, opts ClusterOptions) http.Ha
 			return
 		case "/v1/status":
 			if r.Method != http.MethodGet {
-				writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+				writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"), s.encodeErrs)
 				return
 			}
 			w.Header().Set(HeaderNode, node.Self())
-			writeJSON(w, http.StatusOK, ClusterStatusDoc{Status: s.Status(), Cluster: node.Status()})
+			writeJSON(w, http.StatusOK, ClusterStatusDoc{Status: s.Status(), Cluster: node.Status()}, s.encodeErrs)
 			return
 		case "/v1/simulate", "/v1/route", "/v1/embed":
 			if r.Method != http.MethodPost {
-				writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"))
+				writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"), s.encodeErrs)
 				return
 			}
 			routeRequest(s, node, opts, inner, w, r)
@@ -133,7 +135,7 @@ func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner htt
 	kind := r.URL.Path[len("/v1/"):]
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err), s.encodeErrs)
 		return
 	}
 	self := node.Self()
@@ -163,11 +165,29 @@ func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner htt
 	}
 	w.Header().Set(HeaderOwner, owner)
 
-	resp, err := node.Forward(r.Context(), owner, r.URL.Path, body)
+	// The forward hop is a stage of this request's trace: the hop's outgoing
+	// TraceHeader names the pre-drawn forward span as parent, so the owner's
+	// root span nests under it in the joined tree.
+	rt := timingsFrom(r.Context())
+	fctx := r.Context()
+	if rt != nil && rt.traced {
+		fctx = obs.ContextWithSpan(fctx, obs.SpanContext{Trace: rt.sc.Trace, Span: rt.forward})
+	}
+	forwardStart := time.Now()
+	resp, err := node.Forward(fctx, owner, r.URL.Path, body)
+	rt.record(stageForward, forwardStart)
+	if resp != nil {
+		// Split the winning attempt's hop into dial/send/wait, with starts
+		// derived by stacking the phases from the hop's start.
+		startUS := forwardStart.UnixMicro()
+		rt.recordUS(stageForwardDial, startUS, resp.DialUS)
+		rt.recordUS(stageForwardSend, startUS+resp.DialUS, resp.SendUS)
+		rt.recordUS(stageForwardWait, startUS+resp.DialUS+resp.SendUS, resp.WaitUS)
+	}
 	if err != nil {
 		// Owner unreachable (breaker open or retries exhausted).
 		if opts.NoLocalFallback {
-			writeError(w, statusFor(err), err)
+			writeError(w, statusFor(err), err, s.encodeErrs)
 			return
 		}
 		node.CountFailover()
@@ -179,14 +199,14 @@ func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner htt
 		// capacity — compute locally rather than bounce the rejection to
 		// the client.
 		if opts.NoLocalFallback {
-			relayResponse(w, resp, owner, self)
+			relayResponse(w, resp, owner, self, rt)
 			return
 		}
 		node.CountFailover()
 		serveLocal(inner, w, r, body, "fallback")
 		return
 	}
-	relayResponse(w, resp, owner, self)
+	relayResponse(w, resp, owner, self, rt)
 }
 
 // serveLocal replays the buffered body through this node's own /v1 handler.
@@ -199,16 +219,18 @@ func serveLocal(inner http.Handler, w http.ResponseWriter, r *http.Request, body
 }
 
 // relayResponse copies the owner's answer to the client verbatim, stamped
-// with the routing headers.
-func relayResponse(w http.ResponseWriter, resp *cluster.ForwardResponse, owner, self string) {
+// with the routing headers. The body write is this route's encode stage.
+func relayResponse(w http.ResponseWriter, resp *cluster.ForwardResponse, owner, self string, rt *reqTimings) {
 	w.Header().Set(HeaderNode, owner)
 	w.Header().Set(HeaderVia, self)
 	w.Header().Set(HeaderRoute, "forwarded")
 	if resp.ContentType != "" {
 		w.Header().Set("Content-Type", resp.ContentType)
 	}
+	encodeStart := time.Now()
 	w.WriteHeader(resp.Status)
 	w.Write(resp.Body)
+	rt.record(stageEncode, encodeStart)
 }
 
 // handleHealth is the trivial liveness probe heartbeats hit. node may be ""
@@ -216,9 +238,9 @@ func relayResponse(w http.ResponseWriter, resp *cluster.ForwardResponse, owner, 
 func handleHealth(nodeName string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"), nil)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "node": nodeName})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "node": nodeName}, nil)
 	}
 }

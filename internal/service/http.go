@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
 )
 
 // maxBodyBytes bounds a request body; the typed requests are tiny.
@@ -33,10 +35,10 @@ func Handler(s *Service) http.Handler {
 	}))
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"))
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET only"), s.encodeErrs)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Status())
+		writeJSON(w, http.StatusOK, s.Status(), s.encodeErrs)
 	})
 	return mux
 }
@@ -47,27 +49,35 @@ type validated interface {
 	Validate() error
 }
 
-// post adapts one typed service method to an HTTP handler.
+// post adapts one typed service method to an HTTP handler, timing the
+// decode and encode stages onto the request's timings (when the Telemetry
+// middleware installed them).
 func post[Req validated, Res any](s *Service, call func(context.Context, Req) (*Res, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"))
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST only"), s.encodeErrs)
 			return
 		}
+		rt := timingsFrom(r.Context())
 		var req Req
 		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		decodeStart := time.Now()
+		err := dec.Decode(&req)
+		rt.record(stageDecode, decodeStart)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err), s.encodeErrs)
 			return
 		}
 		res, err := call(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, statusFor(err), err, s.encodeErrs)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		encodeStart := time.Now()
+		writeJSON(w, http.StatusOK, res, s.encodeErrs)
+		rt.record(stageEncode, encodeStart)
 	}
 }
 
@@ -94,15 +104,22 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+func writeError(w http.ResponseWriter, code int, err error, encodeErrs *obs.Counter) {
+	writeJSON(w, code, apiError{Error: err.Error()}, encodeErrs)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v onto w. Encode failures (client hangup mid-response,
+// unmarshalable value) cannot be reported to the client — the status line is
+// already written — so they are counted on encodeErrs (nil-safe) and logged
+// once per error class instead of being silently discarded.
+func writeJSON(w http.ResponseWriter, code int, v any, encodeErrs *obs.Counter) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		encodeErrs.Inc()
+		logEncodeErrorOnce(err)
+	}
 }
 
 // Drain wraps next so that once draining() reports true every request is
@@ -113,7 +130,7 @@ func Drain(draining func() bool, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if draining() {
 			w.Header().Set("Connection", "close")
-			writeError(w, http.StatusServiceUnavailable, ErrClosed)
+			writeError(w, http.StatusServiceUnavailable, ErrClosed, nil)
 			return
 		}
 		next.ServeHTTP(w, r)

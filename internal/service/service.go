@@ -89,7 +89,9 @@ type Service struct {
 	jobs   chan func()
 	wg     sync.WaitGroup
 
-	latency *obs.Histogram
+	latency    *obs.Histogram
+	tele       *telemetry   // per-(endpoint,route,stage) histograms; nil without a registry
+	encodeErrs *obs.Counter // response-encode failures (writeJSON)
 }
 
 // latencyBuckets bounds the request-latency histogram in milliseconds.
@@ -107,6 +109,8 @@ func New(cfg Config) *Service {
 		jobs:      make(chan func(), cfg.QueueDepth),
 	}
 	s.latency = cfg.Obs.Histogram("service.latency_ms", latencyBuckets)
+	s.tele = newTelemetry(cfg.Obs)
+	s.encodeErrs = cfg.Obs.Counter("service.encode_errors")
 	cfg.Obs.Gauge("service.workers").Set(int64(cfg.Workers))
 	cfg.Obs.Gauge("service.queue_depth").Set(int64(cfg.QueueDepth))
 	for i := 0; i < cfg.Workers; i++ {
@@ -179,7 +183,10 @@ func (s *Service) submit(job func()) error {
 func (s *Service) do(ctx context.Context, kind, key string, deadlineMS int, compute func() (any, error)) (any, bool, error) {
 	s.obs.Counter("service." + kind + ".requests").Inc()
 	start := s.obs.Now()
+	rt := timingsFrom(ctx)
+	peekStart := time.Now()
 	if v, ok := s.results.Peek(key); ok {
+		rt.record(stageCache, peekStart)
 		s.observe(start)
 		return v, true, nil
 	}
@@ -195,8 +202,23 @@ func (s *Service) do(ctx context.Context, kind, key string, deadlineMS int, comp
 		err error
 	}
 	done := make(chan outcome, 1) // buffered: the worker never blocks on an abandoned request
+	queueStart := time.Now()
 	if err := s.submit(func() {
-		v, err := s.results.GetOrCompute(key, compute)
+		// Queue wait is submit → worker pickup; the cache stage is the
+		// GetOrCompute envelope (lookup + singleflight coalescing) minus the
+		// compute body itself, so cache+compute sum to the worker's time.
+		jobStart := time.Now()
+		rt.record(stageQueue, queueStart)
+		var computeUS int64
+		v, err := s.results.GetOrCompute(key, func() (any, error) {
+			computeStart := time.Now()
+			defer func() {
+				computeUS = time.Since(computeStart).Microseconds()
+				rt.record(stageCompute, computeStart)
+			}()
+			return compute()
+		})
+		rt.recordUS(stageCache, jobStart.UnixMicro(), time.Since(jobStart).Microseconds()-computeUS)
 		done <- outcome{v, err}
 	}); err != nil {
 		return nil, false, err
@@ -223,21 +245,37 @@ func (s *Service) observe(start time.Time) {
 	s.latency.Observe(s.obs.Now().Sub(start).Milliseconds())
 }
 
+// StageLatency is one (endpoint, route, stage) row of server-side latency
+// percentiles in /v1/status, estimated from the stage histogram by linear
+// interpolation (obs.Histogram.Quantile).
+type StageLatency struct {
+	Endpoint string  `json:"endpoint"`
+	Route    string  `json:"route"`
+	Stage    string  `json:"stage"`
+	Count    int64   `json:"count"`
+	P50US    float64 `json:"p50_us"`
+	P95US    float64 `json:"p95_us"`
+	P99US    float64 `json:"p99_us"`
+}
+
 // Status is the point-in-time operational summary served at /v1/status.
 type Status struct {
-	Workers          int         `json:"workers"`
-	QueueDepth       int         `json:"queue_depth"`
-	QueueLen         int         `json:"queue_len"`
-	Draining         bool        `json:"draining"`
-	Accepted         int64       `json:"accepted"`
-	Rejected         int64       `json:"rejected"`
-	RejectedDraining int64       `json:"rejected_draining"`
-	Completed        int64       `json:"completed"`
-	Errors           int64       `json:"errors"`
-	DeadlineExceeded int64       `json:"deadline_exceeded"`
-	Cache            cache.Stats `json:"cache"`
-	Hosts            cache.Stats `json:"hosts"`
-	Schedules        cache.Stats `json:"schedules"`
+	Workers          int            `json:"workers"`
+	QueueDepth       int            `json:"queue_depth"`
+	QueueLen         int            `json:"queue_len"`
+	Draining         bool           `json:"draining"`
+	Accepted         int64          `json:"accepted"`
+	Rejected         int64          `json:"rejected"`
+	RejectedDraining int64          `json:"rejected_draining"`
+	Completed        int64          `json:"completed"`
+	Errors           int64          `json:"errors"`
+	DeadlineExceeded int64          `json:"deadline_exceeded"`
+	EncodeErrors     int64          `json:"encode_errors"`
+	SlowRequests     int64          `json:"slow_requests"`
+	Cache            cache.Stats    `json:"cache"`
+	Hosts            cache.Stats    `json:"hosts"`
+	Schedules        cache.Stats    `json:"schedules"`
+	Stages           []StageLatency `json:"stages,omitempty"`
 }
 
 // Status reads the current summary. Counter values are zero when the
@@ -254,10 +292,45 @@ func (s *Service) Status() Status {
 		Completed:        s.obs.Counter("service.completed").Value(),
 		Errors:           s.obs.Counter("service.errors").Value(),
 		DeadlineExceeded: s.obs.Counter("service.deadline_exceeded").Value(),
+		EncodeErrors:     s.encodeErrs.Value(),
+		SlowRequests:     s.obs.Counter("service.slow_requests").Value(),
 		Cache:            s.results.Stats(),
 		Hosts:            s.hosts.Stats(),
 		Schedules:        s.schedules.Stats(),
+		Stages:           s.stageLatencies(),
 	}
+}
+
+// stageLatencies walks the telemetry histograms in fixed index order
+// (deterministic row order) and reports percentiles for every populated
+// (endpoint, route, stage) combination.
+func (s *Service) stageLatencies() []StageLatency {
+	t := s.tele
+	if t == nil {
+		return nil
+	}
+	var out []StageLatency
+	for e := 0; e < epCount; e++ {
+		for r := 0; r < routeCount; r++ {
+			for st := 0; st < stageCount; st++ {
+				h := t.stages[e][r][st]
+				n := h.Count()
+				if n == 0 {
+					continue
+				}
+				out = append(out, StageLatency{
+					Endpoint: endpointNames[e],
+					Route:    routeNames[r],
+					Stage:    stageNames[st],
+					Count:    n,
+					P50US:    h.Quantile(0.50),
+					P95US:    h.Quantile(0.95),
+					P99US:    h.Quantile(0.99),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // resultSize estimates a cached result's bytes. Results are small flat

@@ -1,0 +1,486 @@
+// Per-stage request telemetry: every /v1 request is decomposed into the
+// stages the paper's slowdown story cares about — decode, queue wait, cache
+// lookup, compute, the forward hop (split dial/send/wait), encode — with a
+// latency histogram per (endpoint, route, stage) and, when tracing is
+// enabled, one joinable span tree per request propagated across cluster
+// forwards via cluster.TraceHeader. The slow-request watchdog lives here
+// too: requests over a threshold emit a structured slow-log line and a
+// rate-limited automatic pprof CPU capture.
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
+)
+
+// Endpoint indices of the typed /v1 POST endpoints.
+const (
+	epSimulate = iota
+	epRoute
+	epEmbed
+	epCount
+)
+
+var endpointNames = [epCount]string{"simulate", "route", "embed"}
+
+// Route indices, matching the HeaderRoute values.
+const (
+	routeLocal = iota
+	routeForwarded
+	routeFallback
+	routeCount
+)
+
+var routeNames = [routeCount]string{"local", "forwarded", "fallback"}
+
+// Stage indices. The forward_* stages are children of forward in the span
+// tree; everything else parents directly under the request root.
+const (
+	stageDecode = iota
+	stageQueue
+	stageCache
+	stageCompute
+	stageForward
+	stageForwardDial
+	stageForwardSend
+	stageForwardWait
+	stageEncode
+	stageCount
+)
+
+var stageNames = [stageCount]string{
+	"decode", "queue", "cache", "compute",
+	"forward", "forward_dial", "forward_send", "forward_wait", "encode",
+}
+
+// stageParent maps a stage to its parent stage in the span tree, or -1 for
+// direct children of the request root.
+var stageParent = [stageCount]int{
+	stageDecode:      -1,
+	stageQueue:       -1,
+	stageCache:       -1,
+	stageCompute:     -1,
+	stageForward:     -1,
+	stageForwardDial: stageForward,
+	stageForwardSend: stageForward,
+	stageForwardWait: stageForward,
+	stageEncode:      -1,
+}
+
+// stageBucketsUS spans sub-100µs cache hits through multi-second computes.
+var stageBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000, 500000, 1000000, 2500000, 5000000, 10000000}
+
+// telemetry holds the per-(endpoint, route, stage) histograms, resolved once
+// at construction so the request path only ticks instruments. Nil when the
+// service has no registry.
+type telemetry struct {
+	stages [epCount][routeCount][stageCount]*obs.Histogram
+	total  [epCount][routeCount]*obs.Histogram
+}
+
+func newTelemetry(reg *obs.Registry) *telemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &telemetry{}
+	for e := 0; e < epCount; e++ {
+		for r := 0; r < routeCount; r++ {
+			t.total[e][r] = reg.Histogram(
+				fmt.Sprintf("service.request_us{endpoint=%q,route=%q}",
+					endpointNames[e], routeNames[r]), stageBucketsUS)
+			for st := 0; st < stageCount; st++ {
+				t.stages[e][r][st] = reg.Histogram(
+					fmt.Sprintf("service.stage_us{endpoint=%q,route=%q,stage=%q}",
+						endpointNames[e], routeNames[r], stageNames[st]), stageBucketsUS)
+			}
+		}
+	}
+	return t
+}
+
+// reqTimings accumulates one request's per-stage timings. Stage writers use
+// atomics because a worker may still be finishing a stage when the handler
+// flushes after a deadline-exceeded abandon — the flush then simply sees
+// whatever stages had completed. The zero duration means "stage not
+// reached"; starts are first-write-wins so a stage records its earliest
+// entry.
+type reqTimings struct {
+	startUS [stageCount]atomic.Int64 // unix µs of first entry into the stage
+	durUS   [stageCount]atomic.Int64 // accumulated stage duration, µs
+
+	// Trace identity (set once by the middleware before the request runs;
+	// read-only afterwards).
+	sc      obs.SpanContext // this request's root span
+	remote  obs.SpanID      // parent span on the ingress node, if forwarded
+	forward obs.SpanID      // pre-drawn span ID for the forward stage
+	traced  bool
+}
+
+// record folds one completed stage interval ending now. Nil-safe, so the
+// service spine works identically with and without the middleware installed.
+func (rt *reqTimings) record(stage int, start time.Time) {
+	if rt == nil {
+		return
+	}
+	rt.recordUS(stage, start.UnixMicro(), time.Since(start).Microseconds())
+}
+
+// recordUS folds one stage interval given explicitly (used when the duration
+// was measured elsewhere, e.g. the forward dial/send/wait split reported by
+// cluster.ForwardResponse). Nil-safe.
+func (rt *reqTimings) recordUS(stage int, startUS, durUS int64) {
+	if rt == nil || durUS < 0 {
+		return
+	}
+	rt.startUS[stage].CompareAndSwap(0, startUS)
+	rt.durUS[stage].Add(durUS)
+}
+
+// timingsKey is the context key carrying *reqTimings through the handler
+// chain into Service.do and the cluster router.
+type timingsKey struct{}
+
+func withTimings(ctx context.Context, rt *reqTimings) context.Context {
+	return context.WithValue(ctx, timingsKey{}, rt)
+}
+
+func timingsFrom(ctx context.Context) *reqTimings {
+	if ctx == nil {
+		return nil
+	}
+	rt, _ := ctx.Value(timingsKey{}).(*reqTimings)
+	return rt
+}
+
+// TelemetryOptions tunes the Telemetry middleware.
+type TelemetryOptions struct {
+	// Node is this node's advertised address, attached to spans and slow-log
+	// lines so multi-node traces attribute spans to machines. "" for
+	// single-node serving.
+	Node string
+	// SlowThreshold arms the slow-request watchdog: requests whose total
+	// latency meets or exceeds it emit a slow-log line and (rate-limited) a
+	// pprof CPU capture. 0 disables the watchdog.
+	SlowThreshold time.Duration
+	// SlowLog receives one JSON line per slow request (nil: no slow log).
+	SlowLog io.Writer
+	// ProfileDir receives automatic CPU profiles (profile_<ns>.pprof);
+	// "" disables capture.
+	ProfileDir string
+	// ProfileDuration is one capture's length; 0 ⇒ 500ms.
+	ProfileDuration time.Duration
+	// ProfileEvery rate-limits captures; 0 ⇒ 30s.
+	ProfileEvery time.Duration
+}
+
+func (o TelemetryOptions) withDefaults() TelemetryOptions {
+	if o.ProfileDuration <= 0 {
+		o.ProfileDuration = 500 * time.Millisecond
+	}
+	if o.ProfileEvery <= 0 {
+		o.ProfileEvery = 30 * time.Second
+	}
+	return o
+}
+
+// statusWriter captures the response status for route/status attribution.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// telemetryHandler is the middleware's state.
+type telemetryHandler struct {
+	s    *Service
+	next http.Handler
+	opts TelemetryOptions
+
+	slowMu        sync.Mutex
+	lastProfileNS atomic.Int64
+	profiling     atomic.Bool
+}
+
+// Telemetry wraps next with per-stage request telemetry, distributed-trace
+// propagation, and the slow-request watchdog. With no registry on s the
+// middleware is a no-op passthrough (disabled means free). Install it
+// outermost around the /v1 handler (including ClusterHandler) so the
+// timings context reaches the router and the service spine.
+func Telemetry(s *Service, opts TelemetryOptions, next http.Handler) http.Handler {
+	if s == nil || s.obs == nil {
+		return next
+	}
+	return &telemetryHandler{s: s, next: next, opts: opts.withDefaults()}
+}
+
+// endpointOf maps a request path to its endpoint index, or -1 for paths the
+// middleware passes through untouched.
+func endpointOf(path string) int {
+	switch path {
+	case "/v1/simulate":
+		return epSimulate
+	case "/v1/route":
+		return epRoute
+	case "/v1/embed":
+		return epEmbed
+	}
+	return -1
+}
+
+// routeOf maps a HeaderRoute value to its index ("" — the plain non-cluster
+// handler — is local).
+func routeOf(route string) int {
+	switch route {
+	case "forwarded":
+		return routeForwarded
+	case "fallback":
+		return routeFallback
+	}
+	return routeLocal
+}
+
+func (h *telemetryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ep := endpointOf(r.URL.Path)
+	if ep < 0 || r.Method != http.MethodPost {
+		h.next.ServeHTTP(w, r)
+		return
+	}
+	reg := h.s.obs
+	rt := &reqTimings{}
+	ctx := r.Context()
+	if reg.TraceEnabled() {
+		ids := reg.IDs()
+		var trace obs.TraceID
+		if sc, ok := obs.ParseSpanContext(r.Header.Get(cluster.TraceHeader)); ok {
+			trace = sc.Trace
+			rt.remote = sc.Span
+		}
+		if trace.IsZero() {
+			trace = ids.TraceID()
+		}
+		rt.sc = obs.SpanContext{Trace: trace, Span: ids.SpanID()}
+		rt.forward = ids.SpanID()
+		rt.traced = true
+		ctx = obs.ContextWithSpan(ctx, rt.sc)
+		// Echo the trace ID so clients (uninetload) can assert joins.
+		w.Header().Set(cluster.TraceHeader, trace.String())
+	}
+	ctx = withTimings(ctx, rt)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	h.next.ServeHTTP(sw, r.WithContext(ctx))
+	total := time.Since(start)
+
+	route := routeOf(sw.Header().Get(HeaderRoute))
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	if t := h.s.tele; t != nil {
+		totalUS := total.Microseconds()
+		t.total[ep][route].Observe(totalUS)
+		for st := 0; st < stageCount; st++ {
+			if d := rt.durUS[st].Load(); d > 0 {
+				t.stages[ep][route][st].Observe(d)
+			}
+		}
+	}
+	if rt.traced {
+		h.emitSpans(reg, rt, ep, route, status, start, total)
+	}
+	if h.opts.SlowThreshold > 0 && total >= h.opts.SlowThreshold {
+		h.onSlow(rt, ep, route, status, start, total)
+	}
+}
+
+// emitSpans writes the request's span tree: a root http.request span plus
+// one child per stage that ran, with forward_* parented under forward. The
+// spans were timed without live obs.Span objects (the stages run across
+// goroutines), so the events are assembled here and emitted directly.
+func (h *telemetryHandler) emitSpans(reg *obs.Registry, rt *reqTimings, ep, route, status int, start time.Time, total time.Duration) {
+	sink := reg.Sink()
+	if sink == nil {
+		return
+	}
+	ids := reg.IDs()
+	trace := rt.sc.Trace.String()
+	root := obs.SpanEvent{
+		Span:    "http.request",
+		Trace:   trace,
+		SpanID:  rt.sc.Span.String(),
+		StartUS: start.UnixMicro(),
+		DurUS:   total.Microseconds(),
+		Attrs: map[string]any{
+			"endpoint": endpointNames[ep],
+			"route":    routeNames[route],
+			"status":   status,
+		},
+	}
+	if h.opts.Node != "" {
+		root.Attrs["node"] = h.opts.Node
+	}
+	if rt.remote != 0 {
+		root.Parent = rt.remote.String()
+	}
+	sink.Emit(root)
+
+	var stageIDs [stageCount]obs.SpanID
+	stageIDs[stageForward] = rt.forward
+	for st := 0; st < stageCount; st++ {
+		if rt.durUS[st].Load() <= 0 {
+			continue
+		}
+		if stageIDs[st] == 0 {
+			stageIDs[st] = ids.SpanID()
+		}
+	}
+	for st := 0; st < stageCount; st++ {
+		dur := rt.durUS[st].Load()
+		if dur <= 0 {
+			continue
+		}
+		parent := rt.sc.Span
+		if p := stageParent[st]; p >= 0 && stageIDs[p] != 0 {
+			parent = stageIDs[p]
+		}
+		ev := obs.SpanEvent{
+			Span:    stageNames[st],
+			Trace:   trace,
+			SpanID:  stageIDs[st].String(),
+			Parent:  parent.String(),
+			StartUS: rt.startUS[st].Load(),
+			DurUS:   dur,
+		}
+		if h.opts.Node != "" {
+			ev.Attrs = map[string]any{"node": h.opts.Node}
+		}
+		sink.Emit(ev)
+	}
+}
+
+// slowLogLine is the watchdog's structured record of one slow request.
+type slowLogLine struct {
+	TS       string           `json:"ts"`
+	Node     string           `json:"node,omitempty"`
+	Trace    string           `json:"trace,omitempty"`
+	Endpoint string           `json:"endpoint"`
+	Route    string           `json:"route"`
+	Status   int              `json:"status"`
+	TotalUS  int64            `json:"total_us"`
+	Stages   map[string]int64 `json:"stages_us,omitempty"`
+	Profile  string           `json:"profile,omitempty"`
+}
+
+// onSlow handles one request over the threshold: count it, log it, and
+// (rate-limited) kick off a CPU capture.
+func (h *telemetryHandler) onSlow(rt *reqTimings, ep, route, status int, start time.Time, total time.Duration) {
+	h.s.obs.Counter("service.slow_requests").Inc()
+	line := slowLogLine{
+		TS:       start.UTC().Format(time.RFC3339Nano),
+		Node:     h.opts.Node,
+		Endpoint: endpointNames[ep],
+		Route:    routeNames[route],
+		Status:   status,
+		TotalUS:  total.Microseconds(),
+	}
+	if rt.traced {
+		line.Trace = rt.sc.Trace.String()
+	}
+	for st := 0; st < stageCount; st++ {
+		if d := rt.durUS[st].Load(); d > 0 {
+			if line.Stages == nil {
+				line.Stages = make(map[string]int64, stageCount)
+			}
+			line.Stages[stageNames[st]] = d
+		}
+	}
+	if path := h.maybeProfile(); path != "" {
+		line.Profile = path
+	}
+	if h.opts.SlowLog != nil {
+		b, err := json.Marshal(line)
+		if err == nil {
+			h.slowMu.Lock()
+			h.opts.SlowLog.Write(append(b, '\n'))
+			h.slowMu.Unlock()
+		}
+	}
+}
+
+// maybeProfile starts one asynchronous CPU capture if a profile dir is
+// configured, the rate limit allows it, and no capture is already running.
+// Returns the profile path that will be written, or "".
+func (h *telemetryHandler) maybeProfile() string {
+	if h.opts.ProfileDir == "" {
+		return ""
+	}
+	now := time.Now().UnixNano()
+	last := h.lastProfileNS.Load()
+	if now-last < int64(h.opts.ProfileEvery) {
+		return ""
+	}
+	if !h.lastProfileNS.CompareAndSwap(last, now) {
+		return "" // another slow request won the slot
+	}
+	if !h.profiling.CompareAndSwap(false, true) {
+		return ""
+	}
+	path := filepath.Join(h.opts.ProfileDir, fmt.Sprintf("profile_%d.pprof", now))
+	go func() {
+		defer h.profiling.Store(false)
+		f, err := os.Create(path)
+		if err != nil {
+			h.s.obs.Counter("service.slow_profile_errors").Inc()
+			return
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			// Another profiler (e.g. /debug/pprof/profile) is running.
+			h.s.obs.Counter("service.slow_profile_errors").Inc()
+			return
+		}
+		time.Sleep(h.opts.ProfileDuration)
+		pprof.StopCPUProfile()
+		h.s.obs.Counter("service.slow_profiles").Inc()
+	}()
+	return path
+}
+
+// encodeErrClasses dedups encode-error logging per concrete error type, so
+// a storm of identical failures produces one log line.
+var encodeErrClasses sync.Map
+
+func logEncodeErrorOnce(err error) {
+	class := fmt.Sprintf("%T", err)
+	if _, loaded := encodeErrClasses.LoadOrStore(class, true); !loaded {
+		log.Printf("service: response encode failed (%s, logged once per class): %v", class, err)
+	}
+}

@@ -1,0 +1,491 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer, so trace sinks and slow logs
+// written from handler goroutines can be read safely by the test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// spanEvents decodes every JSONL span event in buf.
+func spanEvents(t *testing.T, buf *syncBuffer) []obs.SpanEvent {
+	t.Helper()
+	var out []obs.SpanEvent
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev obs.SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// newTelemetryServer boots one single-node telemetry-wrapped service with a
+// buffered trace sink.
+func newTelemetryServer(t *testing.T, opts TelemetryOptions) (*Service, *httptest.Server, *syncBuffer) {
+	t.Helper()
+	reg := obs.New().SetIDSeed(1)
+	traces := &syncBuffer{}
+	reg.SetTrace(obs.NewTraceSink(traces))
+	s := newTestService(t, Config{Workers: 2, Obs: reg})
+	srv := httptest.NewServer(Telemetry(s, opts, Handler(s)))
+	t.Cleanup(srv.Close)
+	return s, srv, traces
+}
+
+// TestTelemetryStagesAndSpans: one local request records decode, queue,
+// cache, compute, and encode stage histograms and emits a span tree rooted
+// at http.request under a single trace ID echoed on the response.
+func TestTelemetryStagesAndSpans(t *testing.T) {
+	s, srv, traces := newTelemetryServer(t, TelemetryOptions{Node: "n1"})
+	resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(simulateBody(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	echoed := resp.Header.Get(cluster.TraceHeader)
+	if _, err := obs.ParseTraceID(echoed); err != nil {
+		t.Fatalf("response trace header %q: %v", echoed, err)
+	}
+	if err := s.obs.Sink().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := spanEvents(t, traces)
+	byName := map[string]obs.SpanEvent{}
+	for _, ev := range events {
+		if ev.Trace == "" {
+			continue // legacy flat engine spans carry no trace identity
+		}
+		byName[ev.Span] = ev
+		if ev.Trace != echoed {
+			t.Fatalf("span %s trace %q != echoed %q", ev.Span, ev.Trace, echoed)
+		}
+	}
+	root, ok := byName["http.request"]
+	if !ok {
+		t.Fatalf("no http.request root span; got %v", byName)
+	}
+	if root.Parent != "" {
+		t.Fatalf("local root has parent %q", root.Parent)
+	}
+	for _, stage := range []string{"decode", "queue", "cache", "compute", "encode"} {
+		ev, ok := byName[stage]
+		if !ok {
+			t.Fatalf("stage span %q missing; got %v", stage, byName)
+		}
+		if ev.Parent != root.SpanID {
+			t.Fatalf("stage %s parent %q, want root %q", stage, ev.Parent, root.SpanID)
+		}
+	}
+
+	// The stage histograms and /v1/status percentiles reflect the request.
+	snap := s.obs.Snapshot()
+	name := `service.stage_us{endpoint="simulate",route="local",stage="compute"}`
+	if snap.Histograms[name].Count == 0 {
+		t.Fatalf("compute stage histogram empty; histograms: %v", keysOf(snap.Histograms))
+	}
+	st := s.Status()
+	if len(st.Stages) == 0 {
+		t.Fatal("Status.Stages empty")
+	}
+	found := false
+	for _, row := range st.Stages {
+		if row.Stage == "compute" && row.Endpoint == "simulate" && row.Route == "local" {
+			found = true
+			if row.Count == 0 || row.P50US < 0 || row.P99US < row.P50US {
+				t.Fatalf("implausible stage row %+v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no compute row in %+v", st.Stages)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTelemetryPropagationAcrossNodes: a forwarded request yields spans on
+// both nodes sharing one trace ID, with the owner's root span parented
+// under the ingress node's forward span — satellite 4's propagation proof.
+func TestTelemetryPropagationAcrossNodes(t *testing.T) {
+	const n = 2
+	nodes := make([]*clusterTestNode, n)
+	sinks := make([]*syncBuffer, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		nodes[i] = &clusterTestNode{srv: httptest.NewUnstartedServer(nil)}
+		addrs[i] = nodes[i].srv.Listener.Addr().String()
+		nodes[i].addr = addrs[i]
+	}
+	for i, tn := range nodes {
+		peers := []string{addrs[1-i]}
+		sinks[i] = &syncBuffer{}
+		tn.reg = obs.New().SetIDSeed(int64(100 + i)).SetTrace(obs.NewTraceSink(sinks[i]))
+		tn.svc = New(Config{Workers: 2, QueueDepth: 64, Obs: tn.reg})
+		var err error
+		tn.node, err = cluster.NewNode(cluster.Config{
+			Self: tn.addr, Peers: peers, Retries: 1,
+			BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+			ForwardTimeout: 5 * time.Second, Obs: tn.reg,
+			Breaker: cluster.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Minute},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.srv.Config.Handler = Drain(tn.draining.Load,
+			Telemetry(tn.svc, TelemetryOptions{Node: tn.addr},
+				ClusterHandler(tn.svc, tn.node, ClusterOptions{})))
+		tn.srv.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.shutdown()
+		}
+	})
+
+	// A request to node 0 for a key node 1 owns forwards one hop.
+	seed := seedOwnedBy(t, nodes[0].node, addrs[1])
+	status, _, hdr := postNode(t, addrs[0], simulateBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got := hdr.Get(HeaderRoute); got != "forwarded" {
+		t.Fatalf("route %q, want forwarded", got)
+	}
+	traceID := hdr.Get(cluster.TraceHeader)
+	if traceID == "" {
+		t.Fatal("no trace header on response")
+	}
+	for _, tn := range nodes {
+		if err := tn.reg.Sink().Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ingress := spanEvents(t, sinks[0])
+	owner := spanEvents(t, sinks[1])
+	if len(ingress) == 0 || len(owner) == 0 {
+		t.Fatalf("spans missing: ingress=%d owner=%d", len(ingress), len(owner))
+	}
+	var ingressRoot, ingressForward, ownerRoot obs.SpanEvent
+	for _, ev := range ingress {
+		if ev.Trace == "" {
+			continue // legacy flat engine spans
+		}
+		if ev.Trace != traceID {
+			t.Fatalf("ingress span %s on trace %q, want %q", ev.Span, ev.Trace, traceID)
+		}
+		switch ev.Span {
+		case "http.request":
+			ingressRoot = ev
+		case "forward":
+			ingressForward = ev
+		}
+	}
+	for _, ev := range owner {
+		if ev.Trace == "" {
+			continue
+		}
+		if ev.Trace != traceID {
+			t.Fatalf("owner span %s on trace %q, want %q", ev.Span, ev.Trace, traceID)
+		}
+		if ev.Span == "http.request" {
+			ownerRoot = ev
+		}
+	}
+	if ingressRoot.SpanID == "" || ingressForward.SpanID == "" || ownerRoot.SpanID == "" {
+		t.Fatalf("missing spans: root=%q forward=%q ownerRoot=%q",
+			ingressRoot.SpanID, ingressForward.SpanID, ownerRoot.SpanID)
+	}
+	if ingressForward.Parent != ingressRoot.SpanID {
+		t.Fatalf("forward parent %q, want ingress root %q", ingressForward.Parent, ingressRoot.SpanID)
+	}
+	if ownerRoot.Parent != ingressForward.SpanID {
+		t.Fatalf("owner root parent %q, want ingress forward span %q",
+			ownerRoot.Parent, ingressForward.SpanID)
+	}
+
+	// Forwarded-route stage histograms on the ingress node include the hop.
+	snap := nodes[0].reg.Snapshot()
+	fwd := `service.stage_us{endpoint="simulate",route="forwarded",stage="forward"}`
+	if snap.Histograms[fwd].Count == 0 {
+		t.Fatalf("forward stage histogram empty on ingress; %v", keysOf(snap.Histograms))
+	}
+}
+
+// TestTelemetryDisabledNoTraceHeader: without a sink the middleware still
+// records histograms but neither parses nor emits trace identity.
+func TestTelemetryDisabledNoTraceHeader(t *testing.T) {
+	reg := obs.New()
+	s := newTestService(t, Config{Workers: 2, Obs: reg})
+	srv := httptest.NewServer(Telemetry(s, TelemetryOptions{}, Handler(s)))
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(simulateBody(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := resp.Header.Get(cluster.TraceHeader); h != "" {
+		t.Fatalf("trace header %q with tracing disabled", h)
+	}
+	name := `service.request_us{endpoint="simulate",route="local"}`
+	if reg.Snapshot().Histograms[name].Count == 0 {
+		t.Fatal("request histogram empty with tracing disabled")
+	}
+}
+
+// TestTelemetryNilRegistryPassthrough: Telemetry on a registry-less service
+// returns next untouched.
+func TestTelemetryNilRegistryPassthrough(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, Obs: nil})
+	// newTestService injects a registry; build one truly without.
+	bare := New(Config{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		bare.Close(ctx)
+	})
+	next := Handler(bare)
+	if got := Telemetry(bare, TelemetryOptions{}, next); got != next {
+		t.Fatal("Telemetry wrapped a registry-less service")
+	}
+	_ = s
+}
+
+// TestSlowRequestWatchdog: a request over the threshold increments the slow
+// counter, writes a structured slow-log line, and captures a CPU profile;
+// the rate limit keeps a second slow request from profiling again.
+func TestSlowRequestWatchdog(t *testing.T) {
+	dir := t.TempDir()
+	slowLog := &syncBuffer{}
+	reg := obs.New().SetIDSeed(2)
+	traces := &syncBuffer{}
+	reg.SetTrace(obs.NewTraceSink(traces))
+	s := newTestService(t, Config{Workers: 2, Obs: reg})
+	srv := httptest.NewServer(Telemetry(s, TelemetryOptions{
+		Node:            "n1",
+		SlowThreshold:   time.Nanosecond, // everything is slow
+		SlowLog:         slowLog,
+		ProfileDir:      dir,
+		ProfileDuration: 10 * time.Millisecond,
+		ProfileEvery:    time.Hour, // rate limit: only the first captures
+	}, Handler(s)))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/v1/simulate", "application/json",
+			bytes.NewReader(simulateBody(int64(10+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := reg.Counter("service.slow_requests").Value(); got != 2 {
+		t.Fatalf("slow_requests = %d, want 2", got)
+	}
+	if got := s.Status().SlowRequests; got != 2 {
+		t.Fatalf("Status.SlowRequests = %d, want 2", got)
+	}
+
+	lines := bytes.Split(bytes.TrimSpace(slowLog.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("slow log has %d lines, want 2:\n%s", len(lines), slowLog.Bytes())
+	}
+	var first slowLogLine
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatalf("bad slow-log line: %v", err)
+	}
+	if first.Endpoint != "simulate" || first.TotalUS <= 0 || first.Trace == "" {
+		t.Fatalf("implausible slow-log line %+v", first)
+	}
+	if len(first.Stages) == 0 {
+		t.Fatalf("slow-log line has no stage breakdown: %+v", first)
+	}
+	if first.Profile == "" {
+		t.Fatal("first slow request did not schedule a profile")
+	}
+	var second slowLogLine
+	if err := json.Unmarshal(lines[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Profile != "" {
+		t.Fatalf("second slow request profiled despite rate limit: %+v", second)
+	}
+
+	// Wait for the async capture to finish, then check the file landed.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("service.slow_profiles").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("profile capture never completed (errors=%d)",
+				reg.Counter("service.slow_profile_errors").Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	info, err := os.Stat(first.Profile)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("profile file empty")
+	}
+	if filepath.Dir(first.Profile) != dir {
+		t.Fatalf("profile %q outside dir %q", first.Profile, dir)
+	}
+}
+
+// failingWriter errors on the body write, so Encode fails after the status
+// line — the case writeJSON used to swallow.
+type failingWriter struct {
+	httptest.ResponseRecorder
+}
+
+func (w *failingWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client hung up")
+}
+
+// TestWriteJSONCountsEncodeErrors: satellite 2 — encode failures are counted
+// and surfaced in /v1/status.
+func TestWriteJSONCountsEncodeErrors(t *testing.T) {
+	reg := obs.New()
+	s := newTestService(t, Config{Workers: 1, Obs: reg})
+	w := &failingWriter{ResponseRecorder: *httptest.NewRecorder()}
+	writeJSON(w, http.StatusOK, map[string]string{"a": "b"}, s.encodeErrs)
+	if got := s.encodeErrs.Value(); got != 1 {
+		t.Fatalf("encode errors = %d, want 1", got)
+	}
+	if got := s.Status().EncodeErrors; got != 1 {
+		t.Fatalf("Status.EncodeErrors = %d, want 1", got)
+	}
+	// Nil counter must not panic (Drain/handleHealth paths).
+	writeJSON(&failingWriter{ResponseRecorder: *httptest.NewRecorder()}, http.StatusOK, "x", nil)
+}
+
+// TestStatusForTable: satellite 4 — the full error→HTTP mapping.
+func TestStatusForTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"invalid", fmt.Errorf("wrap: %w", ErrInvalid), http.StatusBadRequest},
+		{"overloaded", ErrOverloaded, http.StatusTooManyRequests},
+		{"overloaded wrapped", fmt.Errorf("x: %w", ErrOverloaded), http.StatusTooManyRequests},
+		{"closed", ErrClosed, http.StatusServiceUnavailable},
+		{"peer unreachable", cluster.ErrPeerUnreachable, http.StatusBadGateway},
+		{"peer unreachable wrapped", fmt.Errorf("f: %w", cluster.ErrPeerUnreachable), http.StatusBadGateway},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, http.StatusGatewayTimeout},
+		{"deadline wrapped", fmt.Errorf("service: request deadline: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"engine error", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := statusFor(c.err); got != c.want {
+				t.Fatalf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+// TestDrainConnectionClose: satellite 4 — draining answers 503 with
+// Connection: close so keep-alive clients re-dial elsewhere.
+func TestDrainConnectionClose(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	draining := false
+	h := Drain(func() bool { return draining }, Handler(s))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pre-drain health = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Connection"); got != "" {
+		t.Fatalf("pre-drain Connection header %q", got)
+	}
+
+	draining = true
+	for _, target := range []string{"/v1/health", "/v1/simulate", "/v1/status"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, target, strings.NewReader("{}")))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("draining %s = %d, want 503", target, rec.Code)
+		}
+		if got := rec.Header().Get("Connection"); got != "close" {
+			t.Fatalf("draining %s Connection = %q, want close", target, got)
+		}
+		var e apiError
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("draining %s body %q", target, rec.Body.String())
+		}
+	}
+}
+
+// TestTimingsDisabledZeroAlloc: the nil-timings fast path of the stage
+// recorder and the disabled StartSpanCtx allocate nothing — the warm-path
+// contract for servers running without telemetry.
+func TestTimingsDisabledZeroAlloc(t *testing.T) {
+	var rt *reqTimings
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		rt.record(stageCompute, start)
+		rt.recordUS(stageForward, 1, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil reqTimings record allocates %.1f/op", allocs)
+	}
+	reg := obs.New() // no sink: tracing disabled
+	ctx := context.Background()
+	allocs = testing.AllocsPerRun(1000, func() {
+		c2, sp := reg.StartSpanCtx(ctx, "x")
+		if sp != nil || c2 != ctx {
+			t.Fatal("disabled tracing not free")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpanCtx allocates %.1f/op", allocs)
+	}
+}
