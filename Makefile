@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke cluster-smoke trace-smoke bigsim-smoke report examples cover clean
+.PHONY: all build check test test-race bench bench-json bench-compare bench-smoke load-smoke cluster-smoke trace-smoke bigsim-smoke redblue-smoke report examples cover clean
 
 # Explicit bench-compare tolerances (percent growth allowed per metric). CI
 # and local runs share these so the gate's verdict is reproducible.
@@ -86,6 +86,15 @@ cluster-smoke:
 # (see scripts/trace_smoke.sh).
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Red-blue cost-model smoke: one r-sweep on a wrapped-butterfly host,
+# asserting the trade-off the model exists to show — per eviction policy,
+# I/O strictly grows as the red budget shrinks while compute and stores
+# stay exactly constant, and unbounded red never reloads. The oracle test
+# re-certifies Belady against the brute-force optimum on small DAGs.
+redblue-smoke:
+	$(GO) run ./cmd/uninet redblue -assert-monotone-io -seed 1
+	$(GO) test -run TestOracleMatchesBeladyReplay ./internal/redblue/
 
 # Run the full E1..E24 evaluation suite and print every table + figure.
 # Pass flags through REPORT_FLAGS, e.g. `make report REPORT_FLAGS="-parallel 0"`.

@@ -529,7 +529,7 @@ func experimentConfig(seed int64, faultScenario string, faultSeed int64) (experi
 func listExperiments() string {
 	reg := experiments.Registry()
 	tab := &experiments.Table{
-		Title:   fmt.Sprintf("Registered experiments (E1..E%d)", len(reg)),
+		Title:   fmt.Sprintf("Registered experiments (%d: E1..E24, E26)", len(reg)),
 		Columns: []string{"id", "claim", "modules"},
 	}
 	for _, e := range reg {

@@ -8,6 +8,7 @@
 //	tradeoff   — print the m·s vs n·log m trade-off table
 //	pebble     — build and validate a pebble-game protocol; print statistics
 //	bigsim     — streaming build+validate at big n (chunked storage, shards)
+//	redblue    — price a protocol under the red-blue cost model (r-sweep, policies)
 //	figure1    — render the Figure 1 dependency tree
 //	experiment — run a subset of the E1..E24 suite (parallel runner, JSON)
 //	report     — run the full suite and print every table
@@ -46,6 +47,8 @@ func main() {
 		err = cmdPebble(args)
 	case "bigsim":
 		err = cmdBigsim(args)
+	case "redblue":
+		err = cmdRedblue(args)
 	case "figure1":
 		err = cmdFigure1(args)
 	case "experiment":
@@ -86,13 +89,14 @@ commands:
   tradeoff   -n N -ms 256,1024,4096 [-toy]
   pebble     -n N -deg C -hostdim D -steps T [-seed S]
   bigsim     -n N -deg C -hostdim D -steps T [-shards W] [-window K] [-chunk-kb KB] [-budget-kb KB] [-save F] [-assert-peak-bytes B] [-seed S]
+  redblue    -n N -deg C -hostdim D -steps T [-r R1,R2,...] [-policy lru|random|belady|all] [-iocost G] [-computecost C] [-json] [-assert-monotone-io] [-seed S]
   figure1    [-blockside P] [-seed S]
   experiment [-only E1,E4,E12] [-parallel N] [-timeout D] [-json] [-failfast] [-list] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]
   count      -n N -c C   (exact number of labeled c-regular graphs)
   analyze    [-blockside P] [-hostdim D] [-c C] [-seed S]   (the §3 pipeline, live)
   report     [-only IDs] [-parallel N] [-timeout D] [-json] [-seed S] [-faults NAME] [-fault-seed S] [-trace F]   (full E1..E24 suite)
   serve      [-addr A] [-only IDs] [-parallel N] [-once] [-queue Q] [-service-workers W] [-seed S] [-trace F]
-             [-peers A1,A2] [-advertise A] [-heartbeat D] [-no-local-fallback] [-cluster-faults NAME]
+             [-peers A1,A2] [-advertise A] [-heartbeat D] [-no-local-fallback] [-warm-push N] [-cluster-faults NAME]
              [-slow-ms MS] [-slow-profile-dir DIR] [-runtime-sample D]   (suite + live metrics + /v1 service; -peers = sharded cluster node)
   trace      [-top N] [-id TRACE] [-min-ms MS] [-json] [-assert-joined N] [-check-metrics URL] node1.jsonl [node2.jsonl ...]   (join multi-node traces, waterfalls + attribution)
   gap        [-s0 S] [-eps E]   (the conclusion's open-problem table)

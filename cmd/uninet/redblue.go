@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"universalnet/internal/experiments"
+	"universalnet/internal/pebble"
+	"universalnet/internal/redblue"
+	"universalnet/internal/topology"
+)
+
+// redblueRow is one priced replay in the sweep, in JSON field order.
+type redblueRow struct {
+	R         int     `json:"r"` // 0 = unbounded
+	Policy    string  `json:"policy"`
+	HostSteps int     `json:"host_steps"`
+	Compute   int64   `json:"compute"`
+	Stores    int64   `json:"stores"`
+	ColdLoads int64   `json:"cold_loads"`
+	Reloads   int64   `json:"reloads"`
+	IOSteps   int64   `json:"io_steps"`
+	PeakRed   int     `json:"peak_red"`
+	Makespan  int64   `json:"makespan"`
+	Slowdown  float64 `json:"costed_slowdown"`
+}
+
+// cmdRedblue builds an embedding protocol and replays it under the
+// multiprocessor red-blue cost model (arXiv:2409.03898) across a red-budget
+// sweep and the built-in eviction policies, printing the memory ×
+// communication × slowdown surface. -assert-monotone-io turns the
+// qualitative trade-off into a hard exit code: for every policy, I/O must
+// strictly shrink as r grows while compute stays constant — the assertion
+// `make redblue-smoke` gates CI on.
+func cmdRedblue(args []string) error {
+	fs := flag.NewFlagSet("redblue", flag.ExitOnError)
+	n := fs.Int("n", 48, "guest size")
+	deg := fs.Int("deg", 2, "guest degree")
+	hostDim := fs.Int("hostdim", 3, "wrapped-butterfly host dimension")
+	steps := fs.Int("steps", 3, "guest steps")
+	seed := fs.Int64("seed", 1, "random seed (guest build and random-policy evictions)")
+	rList := fs.String("r", "", "comma-separated red budgets; 0 = unbounded (default: minred,minred+2,minred+4,0)")
+	policy := fs.String("policy", "all", "eviction policy: lru|random|belady|all")
+	ioCost := fs.Int64("iocost", 1, "charge per red↔blue transfer")
+	computeCost := fs.Int64("computecost", 1, "charge per generate")
+	jsonOut := fs.Bool("json", false, "emit one JSON object with the sweep")
+	assertMonotone := fs.Bool("assert-monotone-io", false, "exit non-zero unless shrinking r strictly grows I/O with constant compute, per policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	guest, err := topology.RandomGuest(rng, *n, *deg)
+	if err != nil {
+		return err
+	}
+	host, err := topology.WrappedButterfly(*hostDim)
+	if err != nil {
+		return err
+	}
+	pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, *steps)
+	if err != nil {
+		return err
+	}
+	sp := pr.Spec()
+	minR := redblue.MinRed(sp)
+
+	var budgets []int
+	if *rList == "" {
+		budgets = []int{minR, minR + 2, minR + 4, 0}
+	} else {
+		for _, s := range strings.Split(*rList, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -r entry %q: %w", s, err)
+			}
+			budgets = append(budgets, r)
+		}
+	}
+
+	var policies []string
+	if *policy == "all" {
+		policies = redblue.PolicyNames()
+	} else {
+		policies = []string{*policy}
+	}
+
+	model := redblue.CostModel{IOCost: *ioCost, ComputeCost: *computeCost}
+	var rows []redblueRow
+	for _, r := range budgets {
+		model.R = r
+		for _, polName := range policies {
+			pol, err := redblue.NewPolicy(polName, sp, pr.Steps, uint64(*seed))
+			if err != nil {
+				return err
+			}
+			costs, err := redblue.ReplayCosted(sp, pr.Source(), model, pol, redblue.Options{})
+			if err != nil {
+				return fmt.Errorf("replay r=%d policy=%s: %w", r, polName, err)
+			}
+			rows = append(rows, redblueRow{
+				R: r, Policy: polName,
+				HostSteps: costs.HostSteps,
+				Compute:   costs.Compute,
+				Stores:    costs.Stores,
+				ColdLoads: costs.ColdLoads,
+				Reloads:   costs.Reloads,
+				IOSteps:   costs.IOSteps,
+				PeakRed:   costs.PeakRed,
+				Makespan:  costs.Makespan,
+				Slowdown:  costs.CostedSlowdown(model, sp.T),
+			})
+		}
+	}
+
+	var assertErr error
+	if *assertMonotone {
+		assertErr = checkMonotoneIO(rows)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := map[string]any{
+			"n": *n, "m": host.N(), "t": sp.T, "min_red": minR,
+			"io_cost": *ioCost, "compute_cost": *computeCost,
+			"rows": rows,
+		}
+		if *assertMonotone {
+			out["monotone_io"] = assertErr == nil
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		tab := &experiments.Table{
+			Title: fmt.Sprintf("red-blue surface: n=%d guest on m=%d host, T=%d, min feasible r=%d",
+				*n, host.N(), sp.T, minR),
+			Columns: []string{"r", "policy", "host steps", "compute", "stores", "cold loads", "reloads", "io", "peak red", "makespan", "costed s"},
+		}
+		for _, row := range rows {
+			rs := fmt.Sprint(row.R)
+			if row.R == 0 {
+				rs = "∞"
+			}
+			tab.Rows = append(tab.Rows, []string{
+				rs, row.Policy, fmt.Sprint(row.HostSteps), fmt.Sprint(row.Compute),
+				fmt.Sprint(row.Stores), fmt.Sprint(row.ColdLoads), fmt.Sprint(row.Reloads),
+				fmt.Sprint(row.IOSteps), fmt.Sprint(row.PeakRed), fmt.Sprint(row.Makespan),
+				fmt.Sprintf("%.2f", row.Slowdown),
+			})
+		}
+		fmt.Println(tab.String())
+		if *assertMonotone && assertErr == nil {
+			fmt.Println("monotone-io assertion: ok (I/O strictly grows as r shrinks, compute constant)")
+		}
+	}
+	return assertErr
+}
+
+// checkMonotoneIO verifies, per policy, that over the bounded budgets in
+// the sweep I/O strictly shrinks as r grows while compute and stores stay
+// constant, and that every unbounded run reloads nothing.
+func checkMonotoneIO(rows []redblueRow) error {
+	byPolicy := map[string][]redblueRow{}
+	for _, row := range rows {
+		byPolicy[row.Policy] = append(byPolicy[row.Policy], row)
+	}
+	for pol, prs := range byPolicy {
+		bounded := prs[:0:0]
+		for _, row := range prs {
+			if row.Compute != prs[0].Compute || row.Stores != prs[0].Stores {
+				return fmt.Errorf("assert-monotone-io: %s: compute/stores vary across r (%d/%d vs %d/%d)",
+					pol, row.Compute, row.Stores, prs[0].Compute, prs[0].Stores)
+			}
+			if row.R == 0 {
+				if row.Reloads != 0 {
+					return fmt.Errorf("assert-monotone-io: %s: unbounded run reloads %d times", pol, row.Reloads)
+				}
+				continue
+			}
+			bounded = append(bounded, row)
+		}
+		sort.Slice(bounded, func(i, j int) bool { return bounded[i].R < bounded[j].R })
+		for i := 1; i < len(bounded); i++ {
+			if bounded[i].IOSteps >= bounded[i-1].IOSteps {
+				return fmt.Errorf("assert-monotone-io: %s: io at r=%d (%d) not strictly below r=%d (%d)",
+					pol, bounded[i].R, bounded[i].IOSteps, bounded[i-1].R, bounded[i-1].IOSteps)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCmdRedblueTable(t *testing.T) {
+	// Default sweep size: small instances can saturate belady (0 reloads)
+	// before the loosest bounded budget, which breaks strictness.
+	out := captureStdout(t, func() error {
+		return cmdRedblue([]string{"-assert-monotone-io"})
+	})
+	if !strings.Contains(out, "red-blue surface") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	if !strings.Contains(out, "monotone-io assertion: ok") {
+		t.Errorf("assertion line missing:\n%s", out)
+	}
+}
+
+func TestCmdRedblueJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdRedblue([]string{"-n", "24", "-hostdim", "3", "-steps", "2",
+			"-r", "4,7,0", "-policy", "all", "-json", "-assert-monotone-io"})
+	})
+	var obj struct {
+		N          int  `json:"n"`
+		M          int  `json:"m"`
+		MinRed     int  `json:"min_red"`
+		MonotoneIO bool `json:"monotone_io"`
+		Rows       []struct {
+			R       int    `json:"r"`
+			Policy  string `json:"policy"`
+			Compute int64  `json:"compute"`
+			IOSteps int64  `json:"io_steps"`
+			Reloads int64  `json:"reloads"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &obj); err != nil {
+		t.Fatalf("invalid JSON: %v\noutput:\n%s", err, out)
+	}
+	if !obj.MonotoneIO {
+		t.Error("monotone_io = false")
+	}
+	if len(obj.Rows) != 9 { // 3 budgets × 3 policies
+		t.Fatalf("got %d rows, want 9", len(obj.Rows))
+	}
+	// Sanity of the trade-off inside the JSON itself: the tightest bounded
+	// budget pays strictly more I/O than the loosest, per policy, and
+	// compute never moves.
+	for _, pol := range []string{"lru", "random", "belady"} {
+		var tight, loose int64 = -1, -1
+		for _, r := range obj.Rows {
+			if r.Policy != pol {
+				continue
+			}
+			if r.Compute != obj.Rows[0].Compute {
+				t.Errorf("%s r=%d: compute %d varies", pol, r.R, r.Compute)
+			}
+			switch r.R {
+			case 4:
+				tight = r.IOSteps
+			case 7:
+				loose = r.IOSteps
+			}
+		}
+		if tight <= loose {
+			t.Errorf("%s: io at r=4 (%d) not strictly above r=7 (%d)", pol, tight, loose)
+		}
+	}
+}
+
+func TestCmdRedblueBadFlags(t *testing.T) {
+	if err := cmdRedblue([]string{"-r", "nope"}); err == nil {
+		t.Error("bad -r accepted")
+	}
+	if err := cmdRedblue([]string{"-policy", "fifo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := cmdRedblue([]string{"-r", "1"}); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}

@@ -66,6 +66,7 @@ func cmdServe(args []string) error {
 	advertise := fs.String("advertise", "", "address peers know this node by (default: the listen address)")
 	heartbeat := fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms)")
 	noFallback := fs.Bool("no-local-fallback", false, "surface forwarding failures as 502 instead of serving locally")
+	warmPush := fs.Int("warm-push", 64, "queue depth for background owner cache-warming after local fallbacks (0 = off; cluster mode only)")
 	clusterFaults := fs.String("cluster-faults", "", "named forward-fault scenario: "+strings.Join(faults.ClusterScenarioNames(), "|")+" (drop/delay rates apply to this node's forwards)")
 	slowMS := fs.Int("slow-ms", 0, "slow-request watchdog threshold in ms (0 = off); slow requests log a span breakdown and may auto-capture a CPU profile")
 	slowProfileDir := fs.String("slow-profile-dir", "", "directory for automatic CPU profiles of slow requests (requires -slow-ms)")
@@ -117,6 +118,7 @@ func cmdServe(args []string) error {
 		advertise:       *advertise,
 		heartbeat:       *heartbeat,
 		noLocalFallback: *noFallback,
+		warmPushQueue:   *warmPush,
 		clusterPlan:     plan,
 		clusterSeed:     *faultSeed,
 		slowThreshold:   time.Duration(*slowMS) * time.Millisecond,
@@ -148,6 +150,9 @@ type serveOpts struct {
 	// noLocalFallback surfaces forwarding failures as 502 instead of local
 	// compute.
 	noLocalFallback bool
+	// warmPushQueue sizes the background owner cache-warming queue after
+	// local fallbacks (0 = off).
+	warmPushQueue int
 	// clusterPlan optionally injects deterministic forward faults.
 	clusterPlan *faults.ClusterPlan
 	// clusterSeed drives the forward backoff jitter.
@@ -198,6 +203,7 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	// circuit breaker, degrading to local compute when the owner is gone.
 	v1 := http.Handler(service.Handler(svc))
 	var node *cluster.Node
+	var warmPusher *service.WarmPusher
 	if len(opts.peers) > 0 {
 		self := opts.advertise
 		if self == "" {
@@ -219,7 +225,15 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 			sink.Close()
 			return err
 		}
-		v1 = service.ClusterHandler(svc, node, service.ClusterOptions{NoLocalFallback: opts.noLocalFallback})
+		copts := service.ClusterOptions{NoLocalFallback: opts.noLocalFallback}
+		if opts.warmPushQueue > 0 {
+			warmPusher = service.NewWarmPusher(node, service.WarmPushOptions{
+				QueueDepth: opts.warmPushQueue,
+				Obs:        reg,
+			})
+			copts.WarmPusher = warmPusher
+		}
+		v1 = service.ClusterHandler(svc, node, copts)
 		node.Start()
 	}
 
@@ -309,6 +323,7 @@ func runServe(ctx context.Context, ln net.Listener, exps []experiments.Experimen
 	// already canceled, and in-flight requests deserve a grace period.
 	// Heartbeats stop first; in-flight forwards are unaffected and finish
 	// under the server's own Shutdown wait.
+	warmPusher.Close()
 	if node != nil {
 		node.Close()
 	}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"universalnet/internal/obs"
+	"universalnet/internal/pebble"
+	"universalnet/internal/redblue"
+	"universalnet/internal/topology"
+)
+
+// ---------------------------------------------------------------------------
+// E26 — the red-blue memory × communication × slowdown surface
+// (arXiv:2409.03898). The base engine prices every op identically; the
+// costed replay adds the third axis: r slots of fast red memory per
+// processor, shared blue memory, and chargeable I/O. The surface is swept
+// over red budget × processor count × eviction policy. The qualitative
+// trade-off to reproduce: compute, stores, and compulsory (cold) loads are
+// invariant in r and policy, while capacity reloads — and with them total
+// I/O and the priced makespan — grow monotonically as r shrinks, with
+// Belady as the per-budget floor (pinned against the brute-force oracle in
+// internal/redblue).
+
+// E26Row is one priced replay at (m processors, red budget r, policy).
+type E26Row struct {
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	R         int     `json:"r"` // 0 = unbounded
+	Policy    string  `json:"policy"`
+	HostSteps int     `json:"host_steps"`
+	Compute   int64   `json:"compute"`
+	Stores    int64   `json:"stores"`
+	ColdLoads int64   `json:"cold_loads"`
+	Reloads   int64   `json:"reloads"`
+	IOSteps   int64   `json:"io_steps"`
+	PeakRed   int     `json:"peak_red"`
+	Makespan  int64   `json:"makespan"`
+	Slowdown  float64 `json:"costed_slowdown"`
+}
+
+// E26RedBlueSurface builds one embedding protocol per torus host size and
+// replays it under every (red budget, eviction policy) pair. Budgets are
+// given as offsets above the protocol's minimum feasible red (MinRed);
+// offset -1 means unbounded. Deterministic: the random policy's eviction
+// stream is seeded from the experiment seed.
+func E26RedBlueSurface(ctx context.Context, n, deg, T int, hostSizes []int, rOffsets []int, seed int64) ([]E26Row, error) {
+	reg := obs.FromContext(ctx)
+	var rows []E26Row
+	for _, hostN := range hostSizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(hostN)))
+		guest, err := topology.RandomGuest(rng, n, deg)
+		if err != nil {
+			return nil, err
+		}
+		host, err := topology.Torus(hostN)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, T)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E26 m=%d: %w", hostN, err)
+		}
+		sp := pr.Spec()
+		minR := redblue.MinRed(sp)
+		for _, off := range rOffsets {
+			r := 0
+			if off >= 0 {
+				r = minR + off
+			}
+			model := redblue.DefaultCostModel(r)
+			for _, polName := range redblue.PolicyNames() {
+				pol, err := redblue.NewPolicy(polName, sp, pr.Steps, uint64(seed)+uint64(hostN))
+				if err != nil {
+					return nil, err
+				}
+				costs, err := redblue.ReplayCosted(sp, pr.Source(), model, pol, redblue.Options{Obs: reg})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: E26 m=%d r=%d %s: %w", hostN, r, polName, err)
+				}
+				rows = append(rows, E26Row{
+					N: n, M: hostN, R: r, Policy: polName,
+					HostSteps: costs.HostSteps,
+					Compute:   costs.Compute,
+					Stores:    costs.Stores,
+					ColdLoads: costs.ColdLoads,
+					Reloads:   costs.Reloads,
+					IOSteps:   costs.IOSteps,
+					PeakRed:   costs.PeakRed,
+					Makespan:  costs.Makespan,
+					Slowdown:  costs.CostedSlowdown(model, T),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// E26Table formats E26 rows.
+func E26Table(rows []E26Row) *Table {
+	t := &Table{
+		Title:   "E26 (red-blue surface): I/O and priced slowdown vs red budget r, per eviction policy",
+		Columns: []string{"n", "m", "r", "policy", "host steps", "compute", "stores", "cold loads", "reloads", "io", "peak red", "makespan", "costed s"},
+	}
+	for _, r := range rows {
+		rs := fmt.Sprint(r.R)
+		if r.R == 0 {
+			rs = "∞"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.N), fmt.Sprint(r.M), rs, r.Policy,
+			fmt.Sprint(r.HostSteps), fmt.Sprint(r.Compute), fmt.Sprint(r.Stores),
+			fmt.Sprint(r.ColdLoads), fmt.Sprint(r.Reloads), fmt.Sprint(r.IOSteps),
+			fmt.Sprint(r.PeakRed), fmt.Sprint(r.Makespan), fmt.Sprintf("%.2f", r.Slowdown),
+		})
+	}
+	return t
+}

@@ -70,7 +70,8 @@ type Experiment struct {
 	Run     func(ctx context.Context, cfg Config) (Result, error)
 }
 
-// Registry returns the full evaluation suite E1–E24 with the default
+// Registry returns the full evaluation suite (E1–E24 plus E26; E25 is the
+// CI-only chaos soak) with the default
 // parameters of EXPERIMENTS.md, in id order. The slice is freshly built on
 // every call, so callers may reorder or subset it freely.
 func Registry() []Experiment {
@@ -382,6 +383,18 @@ func Registry() []Experiment {
 				return Result{Text: E24Table(rows).String(), Payload: map[string]any{"rows": rows}}, nil
 			},
 		},
+		{
+			ID:      "E26",
+			Claim:   "Red-blue surface (arXiv:2409.03898): shrinking red memory strictly grows I/O while compute stays fixed; Belady floors every budget",
+			Modules: "redblue,pebble,topology,obs",
+			Run: func(ctx context.Context, cfg Config) (Result, error) {
+				rows, err := E26RedBlueSurface(ctx, 48, 2, 3, []int{9, 16}, []int{0, 2, 4, -1}, cfg.SeedFor("E26"))
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Text: E26Table(rows).String(), Payload: map[string]any{"rows": rows}}, nil
+			},
+		},
 	}
 }
 
@@ -418,7 +431,7 @@ func Select(ids []string) ([]Experiment, error) {
 			unknown = append(unknown, id)
 		}
 		sort.Strings(unknown)
-		return nil, fmt.Errorf("experiments: unknown id(s) %s (want E1..E%d)", strings.Join(unknown, ","), len(all))
+		return nil, fmt.Errorf("experiments: unknown id(s) %s (want E1..E24 or E26; E25 is the CI-only chaos soak)", strings.Join(unknown, ","))
 	}
 	return sel, nil
 }

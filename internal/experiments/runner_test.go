@@ -15,11 +15,16 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 24 {
-		t.Fatalf("Registry: got %d experiments, want 24", len(reg))
+	if len(reg) != 25 {
+		t.Fatalf("Registry: got %d experiments, want 25", len(reg))
 	}
 	for i, e := range reg {
+		// E25 is the CI-only chaos soak (scripts/cluster_smoke.sh), so the
+		// registry skips from E24 to E26.
 		wantID := fmt.Sprintf("E%d", i+1)
+		if i == 24 {
+			wantID = "E26"
+		}
 		if e.ID != wantID {
 			t.Errorf("Registry[%d].ID = %q, want %q", i, e.ID, wantID)
 		}
@@ -40,8 +45,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Select(nil): %v", err)
 	}
-	if len(all) != 24 {
-		t.Fatalf("Select(nil): got %d, want 24", len(all))
+	if len(all) != 25 {
+		t.Fatalf("Select(nil): got %d, want 25", len(all))
 	}
 
 	sel, err := Select([]string{" e4", "E1 ", "e12"})

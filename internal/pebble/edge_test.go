@@ -1,0 +1,119 @@
+package pebble
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"universalnet/internal/graph"
+	"universalnet/internal/topology"
+)
+
+// emptySource is a stream with zero host steps.
+type emptySource struct{}
+
+func (emptySource) NextStep() ([]Op, error) { return nil, io.EOF }
+
+func mustRing(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Degenerate specs must come back as graceful errors from both the batch and
+// the incremental entry points — not as index panics inside the bitset setup
+// (zero-processor hosts used to panic in phaseScan, negative horizons in the
+// start-configuration loop).
+func TestValidateShardedDegenerateSpecs(t *testing.T) {
+	guest := mustRing(t, 4)
+	host := mustRing(t, 4)
+	empty := graph.NewBuilder(0).Build()
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"nil guest", Spec{Guest: nil, Host: host, T: 1}, "nil guest graph"},
+		{"nil host", Spec{Guest: guest, Host: nil, T: 1}, "nil host graph"},
+		{"zero processors", Spec{Guest: guest, Host: empty, T: 1}, "host has no processors"},
+		{"negative horizon", Spec{Guest: guest, Host: host, T: -1}, "negative horizon T=-1"},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{1, 2} {
+			_, err := ValidateSharded(tc.sp, emptySource{}, ShardedOptions{Shards: shards})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s (shards=%d): got %v, want error containing %q", tc.name, shards, err, tc.want)
+			}
+		}
+		if _, err := NewStreamValidator(tc.sp); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s (StreamValidator): got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// An empty stream on a non-degenerate spec fails the final-generator check
+// with the same message the dense engine produces.
+func TestValidateShardedEmptyStream(t *testing.T) {
+	sp := Spec{Guest: mustRing(t, 4), Host: mustRing(t, 4), T: 2}
+	want := "pebble: final pebble (P0,t2) never generated"
+	for _, shards := range []int{1, 3} {
+		_, err := ValidateSharded(sp, emptySource{}, ShardedOptions{Shards: shards})
+		if err == nil || err.Error() != want {
+			t.Errorf("shards=%d: got %v, want %q", shards, err, want)
+		}
+	}
+	sv, err := NewStreamValidator(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Finish(); err == nil || err.Error() != want {
+		t.Errorf("StreamValidator.Finish: got %v, want %q", err, want)
+	}
+}
+
+// Horizon-0 protocols can never generate their (trivially final) time-0
+// pebbles — Generate's horizon is [1,T]. The engine reports that instead of
+// panicking, matching the dense engine's verdict.
+func TestValidateShardedHorizonZero(t *testing.T) {
+	sp := Spec{Guest: mustRing(t, 3), Host: mustRing(t, 3), T: 0}
+	want := "pebble: final pebble (P0,t0) never generated"
+	if _, err := ValidateSharded(sp, emptySource{}, ShardedOptions{}); err == nil || err.Error() != want {
+		t.Errorf("empty stream: got %v, want %q", err, want)
+	}
+	// A generate at t=0 is rejected per-step, same as the dense engine.
+	steps := stepsSource{steps: [][]Op{{{Kind: Generate, Proc: 0, Pebble: Type{P: 0, T: 0}}}}}
+	_, err := ValidateSharded(sp, &steps, ShardedOptions{})
+	if err == nil || !strings.Contains(err.Error(), "outside guest horizon [1,0]") {
+		t.Errorf("generate at t=0: got %v, want horizon error", err)
+	}
+}
+
+// A zero-vertex guest has nothing to generate: an empty stream validates.
+func TestValidateShardedEmptyGuest(t *testing.T) {
+	sp := Spec{Guest: graph.NewBuilder(0).Build(), Host: mustRing(t, 3), T: 2}
+	stats, err := ValidateSharded(sp, emptySource{}, ShardedOptions{})
+	if err != nil {
+		t.Fatalf("empty guest: %v", err)
+	}
+	if stats.HostSteps != 0 || stats.Ops != 0 {
+		t.Errorf("empty guest stats = %+v, want zeros", stats)
+	}
+}
+
+// stepsSource replays a fixed [][]Op.
+type stepsSource struct {
+	steps [][]Op
+	next  int
+}
+
+func (s *stepsSource) NextStep() ([]Op, error) {
+	if s.next >= len(s.steps) {
+		return nil, io.EOF
+	}
+	ops := s.steps[s.next]
+	s.next++
+	return ops, nil
+}

@@ -142,6 +142,25 @@ func (b *spinBarrier) wait() {
 	}
 }
 
+// checkSpec rejects degenerate specs that the dense layout cannot represent
+// (nil graphs, zero processors, negative horizons) with a graceful error
+// instead of an index panic deep in the bitset setup.
+func checkSpec(sp Spec) error {
+	if sp.Guest == nil {
+		return fmt.Errorf("pebble: stream spec: nil guest graph")
+	}
+	if sp.Host == nil {
+		return fmt.Errorf("pebble: stream spec: nil host graph")
+	}
+	if sp.Host.N() == 0 {
+		return fmt.Errorf("pebble: stream spec: host has no processors")
+	}
+	if sp.T < 0 {
+		return fmt.Errorf("pebble: stream spec: negative horizon T=%d", sp.T)
+	}
+	return nil
+}
+
 // ValidateSharded replays a protocol stream against the lite sharded state
 // and returns its stats. Accept/reject decisions — and the error for a
 // rejected stream — are identical to sequential validation with
@@ -149,8 +168,32 @@ func (b *spinBarrier) wait() {
 // final-generator check matches Validate. Source errors are returned
 // verbatim.
 func ValidateSharded(sp Spec, src StepSource, opts ShardedOptions) (*StreamStats, error) {
+	v, err := newShardedValidator(sp, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	stats := &StreamStats{}
+	var runErr error
+	if v.shards == 1 {
+		runErr = v.runSequential(src, stats)
+	} else {
+		runErr = v.runParallel(src, stats)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := v.finish(stats); err != nil {
+		return nil, err
+	}
+	observeStream(opts.Obs, stats)
+	return stats, nil
+}
+
+func newShardedValidator(sp Spec, shards int) (*shardedValidator, error) {
+	if err := checkSpec(sp); err != nil {
+		return nil, err
+	}
 	n, m := sp.Guest.N(), sp.Host.N()
-	shards := opts.Shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -208,46 +251,110 @@ func ValidateSharded(sp Spec, src StepSource, opts ShardedOptions) (*StreamStats
 		}
 	}
 
-	stats := &StreamStats{}
-	var runErr error
-	if shards == 1 {
-		runErr = v.runSequential(src, stats)
-	} else {
-		runErr = v.runParallel(src, stats)
-	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	// Final-generator check, merged across shard bitsets.
-	base := sp.T * n
-	for i := 0; i < n; i++ {
+	return v, nil
+}
+
+// finish runs the final-generator check (merged across shard bitsets) and
+// folds the per-shard op counters into stats.
+func (v *shardedValidator) finish(stats *StreamStats) error {
+	base := v.T * v.n
+	for i := 0; i < v.n; i++ {
 		id := base + i
 		found := false
-		for s := 0; s < shards; s++ {
+		for s := 0; s < v.shards; s++ {
 			if v.generated[s][id>>6]&(1<<(uint(id)&63)) != 0 {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, sp.T)
+			return fmt.Errorf("pebble: final pebble (P%d,t%d) never generated", i, v.T)
 		}
 	}
-	for s := 0; s < shards; s++ {
+	for s := 0; s < v.shards; s++ {
 		stats.Generates += v.genCount[s]
 		stats.Sends += v.sendCount[s]
 		stats.Receives += v.recvCount[s]
 	}
-	if opts.Obs != nil {
-		opts.Obs.Counter("pebble.stream.validations").Inc()
-		opts.Obs.Counter("pebble.stream.host_steps").Add(int64(stats.HostSteps))
-		opts.Obs.Counter("pebble.stream.ops").Add(stats.Ops)
-		opts.Obs.Counter("pebble.stream.ops.generate").Add(stats.Generates)
-		opts.Obs.Counter("pebble.stream.ops.send").Add(stats.Sends)
-		opts.Obs.Counter("pebble.stream.ops.receive").Add(stats.Receives)
-		opts.Obs.Gauge("pebble.stream.max_step_ops").SetMax(int64(stats.MaxStepOps))
+	return nil
+}
+
+func observeStream(reg *obs.Registry, stats *StreamStats) {
+	if reg == nil {
+		return
 	}
-	return stats, nil
+	reg.Counter("pebble.stream.validations").Inc()
+	reg.Counter("pebble.stream.host_steps").Add(int64(stats.HostSteps))
+	reg.Counter("pebble.stream.ops").Add(stats.Ops)
+	reg.Counter("pebble.stream.ops.generate").Add(stats.Generates)
+	reg.Counter("pebble.stream.ops.send").Add(stats.Sends)
+	reg.Counter("pebble.stream.ops.receive").Add(stats.Receives)
+	reg.Gauge("pebble.stream.max_step_ops").SetMax(int64(stats.MaxStepOps))
+}
+
+// StreamValidator is the incremental form of sequential ValidateSharded: an
+// explicit push-style StepSink that validates one host step per AppendStep
+// call against the lite bitset state. Verdicts — per-step errors and the
+// Finish-time final-generator check — are byte-identical to ValidateSharded
+// by construction: both run the same phaseScan/phaseMatch/phaseSettle code
+// on the same state. Cost-model layers (internal/redblue) embed it so their
+// replay can interleave accounting with validation without re-buffering the
+// stream.
+type StreamValidator struct {
+	v     *shardedValidator
+	stats StreamStats
+	err   error
+}
+
+// NewStreamValidator builds an incremental validator for sp, rejecting
+// degenerate specs (nil graphs, zero processors, negative horizons).
+func NewStreamValidator(sp Spec) (*StreamValidator, error) {
+	v, err := newShardedValidator(sp, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamValidator{v: v}, nil
+}
+
+// AppendStep validates one host step. The ops slice is only read during the
+// call. After the first error every subsequent call returns the same error.
+func (sv *StreamValidator) AppendStep(ops []Op) error {
+	if sv.err != nil {
+		return sv.err
+	}
+	if err := sv.v.applyStepSeq(ops); err != nil {
+		sv.err = err
+		return err
+	}
+	sv.v.recordStep(&sv.stats, len(ops))
+	return nil
+}
+
+// Steps reports the number of host steps validated so far.
+func (sv *StreamValidator) Steps() int { return sv.stats.HostSteps }
+
+// Finish runs the final-generator check and returns the stream stats. The
+// validator is spent afterwards.
+func (sv *StreamValidator) Finish() (*StreamStats, error) {
+	if sv.err != nil {
+		return nil, sv.err
+	}
+	stats := sv.stats
+	if err := sv.v.finish(&stats); err != nil {
+		sv.err = err
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// applyStepSeq validates one step inline (single-shard phases, no barrier).
+func (v *shardedValidator) applyStepSeq(ops []Op) error {
+	v.curOps = ops
+	v.stamp++
+	v.phaseScan(0)
+	v.phaseMatch(0)
+	v.phaseSettle(0)
+	return v.stepVerdict()
 }
 
 func (v *shardedValidator) runSequential(src StepSource, stats *StreamStats) error {
@@ -259,12 +366,7 @@ func (v *shardedValidator) runSequential(src StepSource, stats *StreamStats) err
 		if err != nil {
 			return err
 		}
-		v.curOps = ops
-		v.stamp++
-		v.phaseScan(0)
-		v.phaseMatch(0)
-		v.phaseSettle(0)
-		if e := v.stepVerdict(); e != nil {
+		if e := v.applyStepSeq(ops); e != nil {
 			return e
 		}
 		v.recordStep(stats, len(ops))

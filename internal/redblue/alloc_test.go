@@ -1,0 +1,35 @@
+package redblue
+
+import (
+	"testing"
+)
+
+// The warm CostedValidator step path must be allocation-free: validation
+// runs on the stream validator's stamped scratch, and the cost accounting
+// on preallocated slot tables (bounded R ⇒ no slice growth). Replaying an
+// already-applied protocol is legal (regenerates pass validation, every
+// gain is a no-op), so it exercises the full step path warm.
+func TestCostedValidatorWarmAllocations(t *testing.T) {
+	pr := fixture(t, 2, 16, 2, 9, 3)
+	sp := pr.Spec()
+	cv, err := NewCostedValidator(sp, DefaultCostModel(MinRed(sp)+2), NewLRU(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range pr.Steps {
+		if err := cv.AppendStep(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, ops := range pr.Steps {
+			if err := cv.AppendStep(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	perStep := avg / float64(len(pr.Steps))
+	if perStep > 0.05 {
+		t.Errorf("warm CostedValidator.AppendStep allocates %.3f/step, want 0", perStep)
+	}
+}

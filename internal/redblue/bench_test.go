@@ -1,0 +1,56 @@
+package redblue
+
+import (
+	"testing"
+)
+
+// BenchmarkCostedReplay prices one full costed replay — stream validation
+// plus red-blue accounting under LRU eviction — of an n=64 embedding
+// protocol on a 16-processor torus. Covered by the bench-compare gate.
+func BenchmarkCostedReplay(b *testing.B) {
+	pr := fixture(b, 1, 64, 3, 16, 3)
+	sp := pr.Spec()
+	model := DefaultCostModel(MinRed(sp) + 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := NewLRU()
+		cv, err := NewCostedValidator(sp, model, pol, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ops := range pr.Steps {
+			if err := cv.AppendStep(ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cv.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ops int64
+	for _, s := range pr.Steps {
+		ops += int64(len(s))
+	}
+	b.ReportMetric(float64(ops), "ops/replay")
+}
+
+var sinkCosts *Costs
+
+// BenchmarkCostedReplayBelady isolates the offline-policy path: Belady
+// pre-scan plus replay.
+func BenchmarkCostedReplayBelady(b *testing.B) {
+	pr := fixture(b, 1, 64, 3, 16, 3)
+	sp := pr.Spec()
+	model := DefaultCostModel(MinRed(sp) + 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := NewBelady(sp, pr.Steps)
+		costs, err := ReplayCosted(sp, pr.Source(), model, pol, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCosts = costs
+	}
+}

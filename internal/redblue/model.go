@@ -1,0 +1,92 @@
+// Package redblue prices pebble-game protocols under the multiprocessor
+// red-blue model (arXiv:2409.03898): every processor owns r slots of fast
+// "red" memory, all processors share an unbounded slow "blue" memory, and
+// moving a pebble between the two costs an I/O step. Layered on the
+// streaming engine (internal/pebble), it replays any StepSource under a
+// memory budget, inserts the implied load/store I/O via a pluggable
+// eviction policy, and reports the memory × communication × slowdown
+// surface next to the paper's size × slowdown curve.
+//
+// The translation of the base game is write-through: a Generate computes
+// into red and immediately stores the fresh pebble to blue (one store,
+// policy-independent), so red copies are always clean and evictions are
+// free. Predecessor and send touches load missing pebbles from blue; a
+// Receive is a load of the (already stored) pebble into the receiver's red.
+// Total cost then decomposes into a policy-independent part — compute
+// steps, write-through stores, compulsory first-touch loads — and a
+// policy-dependent part, the capacity reloads that grow as r shrinks.
+// Because each processor's reference sequence is fixed by the protocol,
+// per-processor Belady eviction minimizes reloads globally; the brute-force
+// oracle in oracle.go pins that.
+package redblue
+
+import "fmt"
+
+// CostModel prices a replay. R is the red capacity in pebbles per
+// processor (0 = unbounded, for measuring the working set); IOCost is the
+// charge g for one red↔blue transfer; ComputeCost the charge for one
+// Generate.
+type CostModel struct {
+	R           int
+	IOCost      int64
+	ComputeCost int64
+}
+
+// DefaultCostModel charges unit compute and unit I/O with red budget r.
+func DefaultCostModel(r int) CostModel {
+	return CostModel{R: r, IOCost: 1, ComputeCost: 1}
+}
+
+func (m CostModel) check() error {
+	if m.R < 0 {
+		return fmt.Errorf("redblue: negative red capacity %d", m.R)
+	}
+	if m.IOCost < 0 || m.ComputeCost < 0 {
+		return fmt.Errorf("redblue: negative step charges (io=%d compute=%d)", m.IOCost, m.ComputeCost)
+	}
+	return nil
+}
+
+// Costs is the priced outcome of one replay.
+type Costs struct {
+	// HostSteps and Compute restate the base protocol: host steps replayed
+	// and Generate ops executed. Compute is invariant across R and policy.
+	HostSteps int   `json:"host_steps"`
+	Compute   int64 `json:"compute"`
+
+	// Stores counts write-through red→blue transfers: one per Generate.
+	// Invariant across R and policy.
+	Stores int64 `json:"stores"`
+
+	// Loads = ColdLoads + Reloads, blue→red transfers. ColdLoads are
+	// compulsory first touches per (processor, pebble) — communication plus
+	// initial-input traffic, invariant across R and policy. Reloads are
+	// capacity misses: re-fetches of pebbles the policy evicted. Reloads is
+	// the churn axis — zero when R is unbounded, growing as R shrinks.
+	Loads     int64 `json:"loads"`
+	ColdLoads int64 `json:"cold_loads"`
+	Reloads   int64 `json:"reloads"`
+
+	// IOSteps = Loads + Stores.
+	IOSteps int64 `json:"io_steps"`
+
+	// PeakRed is the maximum red occupancy any processor reached — with
+	// unbounded R this is the protocol's per-processor working set.
+	PeakRed int `json:"peak_red"`
+
+	// Makespan is max over processors of ComputeCost·compute_q +
+	// IOCost·io_q: the priced critical processor. TotalCost is the same sum
+	// over all processors.
+	Makespan  int64 `json:"makespan"`
+	TotalCost int64 `json:"total_cost"`
+}
+
+// CostedSlowdown is Makespan divided by the priced guest horizon
+// (ComputeCost·T): how much slower the priced host run is than a guest
+// that computes one layer per step with free memory.
+func (c *Costs) CostedSlowdown(model CostModel, T int) float64 {
+	if T <= 0 || model.ComputeCost <= 0 {
+		return 0
+	}
+	return float64(c.Makespan) / float64(model.ComputeCost*int64(T))
+}

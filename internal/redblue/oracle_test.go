@@ -1,0 +1,104 @@
+package redblue
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"universalnet/internal/pebble"
+	"universalnet/internal/topology"
+)
+
+// The acceptance bar for the cost model: on tiny instances (computation
+// DAGs of ≤ 12 nodes) the exhaustive per-processor DP and the streaming
+// Belady replay must agree on the load count at every feasible red budget —
+// zero divergence over 120 seeds. Belady-with-pins is load-optimal because
+// write-through makes evictions free and each processor's reference
+// sequence is protocol-fixed; the oracle proves it empirically here.
+func TestOracleMatchesBeladyReplay(t *testing.T) {
+	compared := 0
+	for seed := int64(0); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(3) // 2..4 guest vertices
+			T := 2 + rng.Intn(2) // 2..3 guest steps; n·T ≤ 12 DAG nodes
+			guest, err := topology.RandomGuest(rng, n, 1+rng.Intn(2))
+			if err != nil {
+				// Tiny degree/vertex combinations can be unrealizable.
+				t.Skipf("no guest: %v", err)
+			}
+			host, err := topology.Ring(3 + rng.Intn(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var pr *pebble.Protocol
+			if seed%2 == 0 {
+				// Random schedules can stall on tiny instances; fall back to
+				// the deterministic builder when they do.
+				pr, err = pebble.RandomProtocol(guest, host, T, rng, 0)
+			}
+			if pr == nil || err != nil {
+				pr, err = pebble.BuildEmbeddingProtocol(guest, host, nil, T)
+			}
+			if err != nil {
+				t.Fatalf("building protocol: %v", err)
+			}
+			sp := pr.Spec()
+			minR := MinRed(sp)
+			for r := minR; r <= minR+3; r++ {
+				want, err := OracleMinLoads(sp, pr.Steps, r)
+				if err != nil {
+					t.Fatalf("oracle r=%d: %v", r, err)
+				}
+				pol := NewBelady(sp, pr.Steps)
+				got, err := ReplayCosted(sp, pr.Source(), DefaultCostModel(r), pol, Options{})
+				if err != nil {
+					t.Fatalf("belady replay r=%d: %v", r, err)
+				}
+				if got.Loads != want {
+					t.Fatalf("r=%d: belady replay loads %d, oracle optimum %d", r, got.Loads, want)
+				}
+				compared++
+			}
+			// Unbounded agreement: the oracle's r=0 optimum is exactly the
+			// compulsory-load count.
+			want, err := OracleMinLoads(sp, pr.Steps, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReplayCosted(sp, pr.Source(), DefaultCostModel(0), NewLRU(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ColdLoads != want || got.Reloads != 0 {
+				t.Fatalf("unbounded: cold %d reloads %d, oracle %d", got.ColdLoads, got.Reloads, want)
+			}
+		})
+	}
+	if !t.Failed() {
+		t.Logf("oracle vs belady: %d (seed, r) points with zero divergence", compared)
+	}
+}
+
+// The oracle's capacity error matches the replay's: budgets below an op's
+// operand count are infeasible for both.
+func TestOracleCapacityError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	guest, err := topology.RandomGuest(rng, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OracleMinLoads(pr.Spec(), pr.Steps, 1); err == nil {
+		t.Fatal("oracle accepted r=1")
+	}
+}

@@ -1,0 +1,185 @@
+package redblue
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"universalnet/internal/obs"
+	"universalnet/internal/pebble"
+	"universalnet/internal/topology"
+)
+
+// fixture builds a valid embedding protocol: n guest vertices of degree
+// deg on a torus host, T guest steps.
+func fixture(t testing.TB, seed int64, n, deg, hostN, T int) *pebble.Protocol {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	guest, err := topology.RandomGuest(rng, n, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := topology.Torus(hostN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pebble.BuildEmbeddingProtocol(guest, host, nil, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func replay(t testing.TB, pr *pebble.Protocol, r int, polName string) *Costs {
+	t.Helper()
+	sp := pr.Spec()
+	pol, err := NewPolicy(polName, sp, pr.Steps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := ReplayCosted(sp, pr.Source(), DefaultCostModel(r), pol, Options{})
+	if err != nil {
+		t.Fatalf("replay r=%d policy=%s: %v", r, polName, err)
+	}
+	return costs
+}
+
+// Shrinking r must grow I/O monotonically while the policy-independent
+// charges — compute, stores, cold loads — stay fixed. Unbounded red memory
+// has zero reloads, and its peak occupancy is the working set every
+// bounded run must also fit in.
+func TestCostedReplayMonotoneIO(t *testing.T) {
+	pr := fixture(t, 3, 24, 2, 16, 3)
+	sp := pr.Spec()
+	minR := MinRed(sp)
+
+	unbounded := replay(t, pr, 0, "lru")
+	if unbounded.Reloads != 0 {
+		t.Fatalf("unbounded replay has %d reloads, want 0", unbounded.Reloads)
+	}
+	if unbounded.Loads != unbounded.ColdLoads {
+		t.Fatalf("unbounded: loads %d != cold loads %d", unbounded.Loads, unbounded.ColdLoads)
+	}
+
+	for _, polName := range PolicyNames() {
+		prev := int64(-1) // IO of the previous (smaller) r
+		for r := minR; r <= minR+6; r++ {
+			c := replay(t, pr, r, polName)
+			if c.Compute != unbounded.Compute || c.Stores != unbounded.Stores {
+				t.Errorf("%s r=%d: compute/stores (%d,%d) differ from unbounded (%d,%d)",
+					polName, r, c.Compute, c.Stores, unbounded.Compute, unbounded.Stores)
+			}
+			if c.ColdLoads != unbounded.ColdLoads {
+				t.Errorf("%s r=%d: cold loads %d, want %d", polName, r, c.ColdLoads, unbounded.ColdLoads)
+			}
+			if c.IOSteps != c.Loads+c.Stores || c.Loads != c.ColdLoads+c.Reloads {
+				t.Errorf("%s r=%d: inconsistent IO breakdown %+v", polName, r, c)
+			}
+			if c.PeakRed > r {
+				t.Errorf("%s r=%d: peak red %d exceeds budget", polName, r, c.PeakRed)
+			}
+			if prev >= 0 && c.IOSteps > prev {
+				t.Errorf("%s: IO grew from %d to %d as r grew to %d", polName, prev, c.IOSteps, r)
+			}
+			prev = c.IOSteps
+		}
+		// The sweep must actually bind: the tightest budget reloads strictly
+		// more than the loosest.
+		tight, loose := replay(t, pr, minR, polName), replay(t, pr, minR+6, polName)
+		if tight.Reloads <= loose.Reloads {
+			t.Errorf("%s: reloads at r=%d (%d) not strictly above r=%d (%d)",
+				polName, minR, tight.Reloads, minR+6, loose.Reloads)
+		}
+	}
+}
+
+// Belady never loads more than LRU or random on the same replay.
+func TestBeladyDominates(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pr := fixture(t, seed, 16, 2, 9, 3)
+		minR := MinRed(pr.Spec())
+		for r := minR; r <= minR+3; r++ {
+			bel := replay(t, pr, r, "belady")
+			for _, other := range []string{"lru", "random"} {
+				c := replay(t, pr, r, other)
+				if bel.Loads > c.Loads {
+					t.Errorf("seed %d r=%d: belady %d loads > %s %d", seed, r, bel.Loads, other, c.Loads)
+				}
+			}
+		}
+	}
+}
+
+// A red budget below an op's operand count fails gracefully.
+func TestCostedReplayCapacityTooSmall(t *testing.T) {
+	pr := fixture(t, 1, 12, 2, 9, 2)
+	sp := pr.Spec()
+	pol, _ := NewPolicy("lru", sp, nil, 0)
+	_, err := ReplayCosted(sp, pr.Source(), DefaultCostModel(1), pol, Options{})
+	if err == nil || !strings.Contains(err.Error(), "too small") {
+		t.Fatalf("r=1 replay: got %v, want capacity error", err)
+	}
+}
+
+// Degenerate specs and models surface as the same graceful errors the base
+// stream validator produces.
+func TestCostedValidatorRejectsDegenerate(t *testing.T) {
+	pr := fixture(t, 1, 8, 2, 9, 2)
+	sp := pr.Spec()
+	if _, err := NewCostedValidator(pebble.Spec{Guest: sp.Guest, Host: nil, T: 2},
+		DefaultCostModel(8), NewLRU(), Options{}); err == nil {
+		t.Error("nil host accepted")
+	}
+	if _, err := NewCostedValidator(sp, CostModel{R: -1, IOCost: 1, ComputeCost: 1},
+		NewLRU(), Options{}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewCostedValidator(sp, DefaultCostModel(8), nil, Options{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewPolicy("belady", sp, nil, 0); err == nil {
+		t.Error("belady without steps accepted")
+	}
+	if _, err := NewPolicy("fifo", sp, nil, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// Makespan and total cost respect the model's charges, and obs metrics are
+// recorded deterministically.
+func TestCostedReplayAccounting(t *testing.T) {
+	pr := fixture(t, 5, 16, 2, 9, 3)
+	sp := pr.Spec()
+	reg := obs.New()
+	pol := NewLRU()
+	model := CostModel{R: MinRed(sp) + 2, IOCost: 3, ComputeCost: 2}
+	costs, err := ReplayCosted(sp, pr.Source(), model, pol, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := model.ComputeCost*costs.Compute + model.IOCost*costs.IOSteps
+	if costs.TotalCost != wantTotal {
+		t.Errorf("total cost %d, want compute·%d + io·%d = %d", costs.TotalCost, costs.Compute, costs.IOSteps, wantTotal)
+	}
+	if costs.Makespan <= 0 || costs.Makespan > costs.TotalCost {
+		t.Errorf("makespan %d outside (0, %d]", costs.Makespan, costs.TotalCost)
+	}
+	if got := costs.CostedSlowdown(model, sp.T); got <= 0 {
+		t.Errorf("costed slowdown %v, want > 0", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["redblue.replays"] != 1 {
+		t.Errorf("redblue.replays = %d, want 1", snap.Counters["redblue.replays"])
+	}
+	if snap.Counters["redblue.io.loads"] != costs.Loads {
+		t.Errorf("redblue.io.loads = %d, want %d", snap.Counters["redblue.io.loads"], costs.Loads)
+	}
+	// Same replay, same registry contents: metrics are wall-clock free.
+	reg2 := obs.New()
+	if _, err := ReplayCosted(sp, pr.Source(), model, NewLRU(), Options{Obs: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(reg2.Snapshot()) {
+		t.Error("replay metrics differ across identical runs")
+	}
+}

@@ -81,6 +81,10 @@ type ClusterOptions struct {
 	// degraded-but-correct local answer. For debugging and tests that
 	// need the failure visible.
 	NoLocalFallback bool
+	// WarmPusher, when non-nil, re-forwards every local-fallback request to
+	// its owner in the background once the owner recovers, so the owner's
+	// cache warms off the client path. See WarmPusher.
+	WarmPusher *WarmPusher
 }
 
 // ClusterStatusDoc is /v1/status in cluster mode: the node's own service
@@ -191,6 +195,7 @@ func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner htt
 			return
 		}
 		node.CountFailover()
+		opts.WarmPusher.Enqueue(owner, r.URL.Path, body)
 		serveLocal(inner, w, r, body, "fallback")
 		return
 	}
@@ -203,6 +208,7 @@ func routeRequest(s *Service, node *cluster.Node, opts ClusterOptions, inner htt
 			return
 		}
 		node.CountFailover()
+		opts.WarmPusher.Enqueue(owner, r.URL.Path, body)
 		serveLocal(inner, w, r, body, "fallback")
 		return
 	}

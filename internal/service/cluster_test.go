@@ -35,6 +35,14 @@ type clusterTestNode struct {
 // tests deterministic.
 func startTestCluster(t *testing.T, n int, opts ClusterOptions) []*clusterTestNode {
 	t.Helper()
+	return startTestClusterWith(t, n, func(*clusterTestNode) ClusterOptions { return opts })
+}
+
+// startTestClusterWith is startTestCluster with per-node options: optsFor
+// runs after the node's Service and cluster.Node exist, so a test can hang
+// node-specific machinery (e.g. a WarmPusher over tn.node) off each one.
+func startTestClusterWith(t *testing.T, n int, optsFor func(tn *clusterTestNode) ClusterOptions) []*clusterTestNode {
+	t.Helper()
 	nodes := make([]*clusterTestNode, n)
 	addrs := make([]string, n)
 	for i := range nodes {
@@ -65,7 +73,7 @@ func startTestCluster(t *testing.T, n int, opts ClusterOptions) []*clusterTestNo
 		if err != nil {
 			t.Fatal(err)
 		}
-		tn.srv.Config.Handler = Drain(tn.draining.Load, ClusterHandler(tn.svc, tn.node, opts))
+		tn.srv.Config.Handler = Drain(tn.draining.Load, ClusterHandler(tn.svc, tn.node, optsFor(tn)))
 		tn.srv.Start()
 	}
 	t.Cleanup(func() {

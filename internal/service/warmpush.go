@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
+)
+
+// WarmPusher repairs the cache asymmetry a local fallback leaves behind.
+// When the owner of a key is unreachable and this node computes the answer
+// itself, the owner's cache stays cold: the next request for that key —
+// routed to the now-recovered owner — pays the full compute again. The
+// pusher re-forwards the original request to the owner in the background
+// as soon as the owner recovers (each attempt doubles as the breaker's
+// probe), so the owner computes (and caches) the result off the client's
+// critical path. The push is the same idempotent POST the
+// client sent; at worst the owner does one redundant computation.
+//
+// Pushes ride a bounded queue: a full queue drops the push (counter
+// cluster.warm_push_dropped) rather than stall the serving path. Successful
+// pushes increment cluster.warm_pushes; pushes that exhaust their attempts
+// increment cluster.warm_push_failed.
+type WarmPusher struct {
+	node        *cluster.Node
+	obs         *obs.Registry
+	retryEvery  time.Duration
+	maxAttempts int
+
+	queue    chan warmPush
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// warmPush is one queued owner-side cache warm: the request exactly as the
+// client sent it, plus the owner it should have gone to.
+type warmPush struct {
+	owner string
+	path  string
+	body  []byte
+}
+
+// WarmPushOptions tunes a WarmPusher. The zero value gives sane serving
+// defaults; tests shrink RetryEvery to keep recovery polling fast.
+type WarmPushOptions struct {
+	// QueueDepth bounds the pending-push queue (0 = 64). Overflow drops.
+	QueueDepth int
+	// RetryEvery is the pause between attempts while the owner is still
+	// unreachable or rejecting (0 = 250ms).
+	RetryEvery time.Duration
+	// MaxAttempts bounds how long one push chases a recovering owner before
+	// giving up (0 = 120 attempts — 30s at the default cadence).
+	MaxAttempts int
+	// Obs receives the warm-push counters (nil = none).
+	Obs *obs.Registry
+}
+
+// NewWarmPusher starts the single background worker that drains the push
+// queue. Close stops it; a nil pusher is a no-op everywhere.
+func NewWarmPusher(node *cluster.Node, opts WarmPushOptions) *WarmPusher {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.RetryEvery <= 0 {
+		opts.RetryEvery = 250 * time.Millisecond
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 120
+	}
+	p := &WarmPusher{
+		node:        node,
+		obs:         opts.Obs,
+		retryEvery:  opts.RetryEvery,
+		maxAttempts: opts.MaxAttempts,
+		queue:       make(chan warmPush, opts.QueueDepth),
+		stop:        make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// Enqueue schedules a warm push of body to owner's path. Never blocks: a
+// full queue (or a closed pusher) drops the push and counts the drop. Safe
+// on a nil receiver so call sites need no guard.
+func (p *WarmPusher) Enqueue(owner, path string, body []byte) {
+	if p == nil {
+		return
+	}
+	// The serving path may reuse the body buffer after the handler returns;
+	// the queue outlives the request, so it keeps its own copy.
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	select {
+	case p.queue <- warmPush{owner: owner, path: path, body: cp}:
+	default:
+		p.obs.Counter("cluster.warm_push_dropped").Inc()
+	}
+}
+
+// Close stops the worker and waits for it to exit. Queued-but-unstarted
+// pushes are abandoned: a dying node has no business warming peers.
+func (p *WarmPusher) Close() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+func (p *WarmPusher) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case push := <-p.queue:
+			p.deliver(push)
+		}
+	}
+}
+
+// deliver chases one push until the owner accepts it, the attempt budget
+// runs out, or the pusher closes. Each attempt goes straight to Forward and
+// lets the owner's breaker arbitrate: a truly open breaker rejects
+// instantly (no wire traffic), an elapsed open-timeout resolves to
+// half-open with this push as the probe, and a successful push recloses
+// the breaker for foreground traffic too. Waiting for BreakerState to read
+// closed instead would deadlock: State never resolves the timeout, only an
+// attempt does. 503/429 answers mean the owner is up but draining or
+// shedding, which the same retry cadence rides out.
+func (p *WarmPusher) deliver(push warmPush) {
+	for attempt := 0; attempt < p.maxAttempts; attempt++ {
+		if attempt > 0 && !p.pause() {
+			return
+		}
+		resp, err := p.node.Forward(context.Background(), push.owner, push.path, push.body)
+		if err != nil {
+			// Breaker rejection or transport failure; wait for recovery.
+			continue
+		}
+		switch {
+		case resp.Status == http.StatusServiceUnavailable || resp.Status == http.StatusTooManyRequests:
+			// Up but draining/shedding: retry.
+		case resp.Status >= 200 && resp.Status < 300:
+			p.obs.Counter("cluster.warm_pushes").Inc()
+			return
+		default:
+			// A definitive answer (4xx/5xx): retrying would re-send the same
+			// bytes to the same conclusion.
+			p.obs.Counter("cluster.warm_push_failed").Inc()
+			return
+		}
+	}
+	p.obs.Counter("cluster.warm_push_failed").Inc()
+}
+
+// pause sleeps one retry interval; false means the pusher is closing.
+func (p *WarmPusher) pause() bool {
+	select {
+	case <-p.stop:
+		return false
+	case <-time.After(p.retryEvery):
+		return true
+	}
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"universalnet/internal/cluster"
+	"universalnet/internal/obs"
+)
+
+// TestWarmPushRepairsOwnerCache: A falls back to local compute while owner
+// B is draining; once B recovers, A's warm pusher re-forwards the request
+// so B's very next client hit for the key is a cache hit.
+func TestWarmPushRepairsOwnerCache(t *testing.T) {
+	var pushers []*WarmPusher
+	nodes := startTestClusterWith(t, 2, func(tn *clusterTestNode) ClusterOptions {
+		p := NewWarmPusher(tn.node, WarmPushOptions{
+			QueueDepth: 4,
+			RetryEvery: 5 * time.Millisecond,
+			Obs:        tn.reg,
+		})
+		pushers = append(pushers, p)
+		return ClusterOptions{WarmPusher: p}
+	})
+	t.Cleanup(func() {
+		for _, p := range pushers {
+			p.Close()
+		}
+	})
+	a, b := nodes[0], nodes[1]
+	seed := seedOwnedBy(t, a.node, b.addr)
+	body := simulateBody(seed)
+
+	// Owner drains: A's forward gets the 503 and serves the degraded local
+	// answer, leaving B's cache cold — the asymmetry the pusher repairs.
+	b.draining.Store(true)
+	status, respA, hdr := postNode(t, a.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("fallback status %d, want 200 (%s)", status, respA)
+	}
+	if hdr.Get(HeaderRoute) != "fallback" {
+		t.Fatalf("route %q, want fallback", hdr.Get(HeaderRoute))
+	}
+
+	// Owner recovers; the queued push should land shortly after.
+	b.draining.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.reg.Counter("cluster.warm_pushes").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("warm push never delivered: pushes=%d dropped=%d failed=%d",
+				a.reg.Counter("cluster.warm_pushes").Value(),
+				a.reg.Counter("cluster.warm_push_dropped").Value(),
+				a.reg.Counter("cluster.warm_push_failed").Value())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// B's next request for the key — straight to the owner — is a hit.
+	status, respB, hdr := postNode(t, b.addr, body)
+	if status != http.StatusOK {
+		t.Fatalf("owner status %d, want 200 (%s)", status, respB)
+	}
+	if hdr.Get(HeaderRoute) != "local" {
+		t.Errorf("route %q, want local", hdr.Get(HeaderRoute))
+	}
+	var res struct {
+		Cached   bool   `json:"cached"`
+		Checksum uint64 `json:"checksum"`
+	}
+	if err := json.Unmarshal(respB, &res); err != nil {
+		t.Fatalf("bad owner response %s: %v", respB, err)
+	}
+	if !res.Cached {
+		t.Errorf("owner served a cold compute after warm push: %s", respB)
+	}
+	if got, want := res.Checksum, checksumOf(t, respA); got != want {
+		t.Errorf("owner checksum %d != fallback checksum %d", got, want)
+	}
+}
+
+// TestWarmPushQueueBounded: a full queue drops pushes instead of blocking
+// the serving path, and the drop is counted.
+func TestWarmPushQueueBounded(t *testing.T) {
+	nodes := startTestCluster(t, 2, ClusterOptions{})
+	a := nodes[0]
+	// Standalone pusher over a's node targeting a peer whose breaker never
+	// closes matters not — nothing drains the queue fast enough because the
+	// worker is parked on the first push's retry loop.
+	p := NewWarmPusher(a.node, WarmPushOptions{
+		QueueDepth: 1,
+		RetryEvery: time.Hour, // park the worker
+		Obs:        a.reg,
+	})
+	defer p.Close()
+	nodes[1].draining.Store(true)
+	for i := 0; i < 4; i++ {
+		p.Enqueue(nodes[1].addr, "/v1/simulate", simulateBody(int64(i+1)))
+	}
+	// One push may be in the worker's hands and one in the queue; at least
+	// two of the four must have been dropped.
+	if got := a.reg.Counter("cluster.warm_push_dropped").Value(); got < 2 {
+		t.Errorf("dropped %d pushes, want >= 2", got)
+	}
+}
+
+// TestWarmPushReclosesBreaker: an owner that is down at the transport level
+// opens its breaker; when it comes back there is no foreground traffic to
+// probe the half-open breaker, so the push attempt itself must be the
+// probe. A pusher that waited for BreakerState to read closed would spin
+// its full attempt budget here and fail.
+func TestWarmPushReclosesBreaker(t *testing.T) {
+	reg := obs.New()
+	// A listener we can kill and resurrect on the same address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ln.Addr().String()
+	ln.Close()
+
+	node, err := cluster.NewNode(cluster.Config{
+		Self:           "127.0.0.1:1", // never listens; only Forward is used
+		Peers:          []string{owner},
+		Retries:        1,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		ForwardTimeout: time.Second,
+		Obs:            reg,
+		Breaker:        cluster.BreakerConfig{FailureThreshold: 1, OpenTimeout: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	p := NewWarmPusher(node, WarmPushOptions{RetryEvery: 5 * time.Millisecond, Obs: reg})
+	defer p.Close()
+	p.Enqueue(owner, "/v1/simulate", simulateBody(1))
+
+	// Let the first attempts fail against the dead address and trip the
+	// breaker open.
+	deadline := time.Now().Add(5 * time.Second)
+	for node.BreakerState(owner) != cluster.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened against the dead owner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Owner resurrects on the same address.
+	ln2, err := net.Listen("tcp", owner)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", owner, err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go srv.Serve(ln2)
+	defer srv.Close()
+
+	for reg.Counter("cluster.warm_pushes").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("push never landed after owner recovery: failed=%d state=%v",
+				reg.Counter("cluster.warm_push_failed").Value(), node.BreakerState(owner))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := node.BreakerState(owner); got != cluster.BreakerClosed {
+		t.Errorf("breaker %v after successful push, want closed", got)
+	}
+}
+
+// TestWarmPushNilSafe: a nil pusher is inert at every call site, so the
+// routing path needs no guards.
+func TestWarmPushNilSafe(t *testing.T) {
+	var p *WarmPusher
+	p.Enqueue("owner", "/v1/simulate", nil)
+	p.Close()
+}
