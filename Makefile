@@ -56,14 +56,13 @@ bench-compare:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Streaming-scale smoke: one n=10⁵ build+validate through the streaming
-# pipeline under a hard Go heap budget, asserting that peak resident chunk
-# bytes stay within budget + one open chunk (the memory bound that makes
-# n=10⁶ runs fit in laptop RAM). GOMEMLIMIT makes an accidental full
-# materialization fail loudly instead of silently paging.
+# Streaming-scale smoke: n=10⁵ build+validate through the streaming
+# pipeline at -build-shards 1 and GOMAXPROCS, under a hard Go heap budget.
+# Asserts peak resident chunk bytes stay within budget + one open chunk and
+# that the stream fingerprints are byte-identical across shard counts (see
+# scripts/bigsim_smoke.sh).
 bigsim-smoke:
-	GOMEMLIMIT=512MiB $(GO) run ./cmd/uninet bigsim -n 100000 -deg 3 -hostdim 5 -steps 2 \
-		-chunk-kb 256 -budget-kb 4096 -assert-peak-bytes 8388608 -seed 1
+	sh scripts/bigsim_smoke.sh
 
 # End-to-end service smoke: serve + uninetload, asserting zero errors,
 # cache hits in the warm phase, and at least one 429 under an over-capacity

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -375,17 +376,29 @@ func cmdBigsim(args []string) error {
 	hostDim := fs.Int("hostdim", 5, "wrapped-butterfly host dimension")
 	steps := fs.Int("steps", 2, "guest steps")
 	shards := fs.Int("shards", 0, "validator shards (0 = GOMAXPROCS)")
+	buildShards := fs.Int("build-shards", 0, "builder workers (0 = GOMAXPROCS/2, 1 = serial build)")
 	window := fs.Int("window", 8, "pipe window in host steps")
+	barrierWindow := fs.Int("barrier-window", 0, "validator host steps per barrier round (0 = default)")
 	chunkKB := fs.Int("chunk-kb", 1024, "target chunk size in KiB")
 	budgetKB := fs.Int("budget-kb", 8192, "resident chunk budget in KiB (0 = never spill)")
 	seed := fs.Int64("seed", 1, "random seed")
 	save := fs.String("save", "", "write the streamed protocol in binary form to this file")
 	maxPeak := fs.Int64("assert-peak-bytes", 0, "fail if peak resident chunk bytes exceed this (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *shards <= 0 {
-		*shards = runtime.GOMAXPROCS(0)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	guest, err := topology.RandomGuest(rng, *n, *deg)
@@ -404,7 +417,9 @@ func cmdBigsim(args []string) error {
 	start := time.Now()
 	rep, err := universal.RunStreamingEmbedding(guest, host, nil, *steps, universal.StreamRunConfig{
 		Shards:        *shards,
+		BuildShards:   *buildShards,
 		Window:        *window,
+		BarrierWindow: *barrierWindow,
 		Chunks:        chunks,
 		MeasureStalls: true,
 	})
@@ -412,14 +427,17 @@ func cmdBigsim(args []string) error {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("streaming run: guest n=%d (%d-regular), host m=%d, T=%d, shards=%d, window=%d\n",
-		rep.N, *deg, rep.M, rep.T, *shards, *window)
+	fmt.Printf("streaming run: guest n=%d (%d-regular), host m=%d, T=%d, build-shards=%d, shards=%d, window=%d\n",
+		rep.N, *deg, rep.M, rep.T, rep.BuildShards, rep.ValidateShards, *window)
 	fmt.Printf("host steps T'=%d ops=%d slowdown=%.2f inefficiency k=%.2f maxload=%d (%.1fs)\n",
 		rep.HostSteps, rep.Ops, rep.Slowdown, rep.Inefficiency, rep.MaxLoad, elapsed.Seconds())
 	fmt.Printf("protocol bytes: encoded=%d peak-resident=%d spilled=%d\n",
 		rep.EncodedBytes, rep.PeakChunkBytes, rep.SpilledBytes)
 	fmt.Printf("pipeline stalls: builder=%dms validator=%dms\n",
 		rep.SendStallNs/1e6, rep.RecvStallNs/1e6)
+	fmt.Printf("build split: busy=%dms pipe-stall=%dms merge-wait=%dms (workers=%d)\n",
+		rep.BuildBusyNs/1e6, rep.BuildStallNs/1e6, rep.MergeWaitNs/1e6, rep.BuildShards)
+	fmt.Printf("stream fingerprint: %016x steps=%d\n", rep.Fingerprint, rep.HostSteps)
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -437,6 +455,21 @@ func cmdBigsim(args []string) error {
 	}
 	if *maxPeak > 0 && rep.PeakChunkBytes > *maxPeak {
 		return fmt.Errorf("peak resident chunk bytes %d exceed budget %d", rep.PeakChunkBytes, *maxPeak)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("heap profile written to %s\n", *memProfile)
 	}
 	return nil
 }

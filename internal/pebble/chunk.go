@@ -23,9 +23,8 @@ import (
 // lossless for any Op value (corrupted or adversarial protocols round-trip
 // too, which the fuzz target exercises); well-formed ops cost ~5–8 bytes.
 
-// appendStepBytes encodes one step onto dst.
-func appendStepBytes(dst []byte, ops []Op) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+// appendOpsBytes encodes a run of ops (no count prefix) onto dst.
+func appendOpsBytes(dst []byte, ops []Op) []byte {
 	for _, op := range ops {
 		dst = binary.AppendVarint(dst, int64(op.Kind))
 		dst = binary.AppendVarint(dst, int64(op.Proc))
@@ -34,6 +33,12 @@ func appendStepBytes(dst []byte, ops []Op) []byte {
 		dst = binary.AppendVarint(dst, int64(op.Peer))
 	}
 	return dst
+}
+
+// appendStepBytes encodes one step onto dst.
+func appendStepBytes(dst []byte, ops []Op) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	return appendOpsBytes(dst, ops)
 }
 
 // minEncodedOpBytes is the smallest possible encoding of one op (five
@@ -116,34 +121,42 @@ type ChunkedLog struct {
 	peakResident int64
 	spilledBytes int64
 
+	fingerprint uint64
+
 	spillFile *os.File
 	spillOff  int64
 	frozen    bool
 	err       error
 }
 
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters for the running
+// stream fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
 // NewChunkedLog returns an empty log.
 func NewChunkedLog(opts ChunkedLogOptions) *ChunkedLog {
 	if opts.TargetChunkBytes <= 0 {
 		opts.TargetChunkBytes = 1 << 20
 	}
-	return &ChunkedLog{opts: opts}
+	return &ChunkedLog{opts: opts, fingerprint: fnvOffset}
 }
 
-// AppendStep encodes and stores one step.
-func (l *ChunkedLog) AppendStep(ops []Op) error {
-	if l.err != nil {
-		return l.err
+// Fingerprint returns the FNV-1a hash of the encoded step stream so far —
+// a cheap identity for asserting that two runs (say, different build-shard
+// counts) produced byte-identical protocols.
+func (l *ChunkedLog) Fingerprint() uint64 { return l.fingerprint }
+
+// noteStep finishes one appended step whose encoding starts at byte offset
+// `before` of the current chunk: fingerprint, accounting, sealing.
+func (l *ChunkedLog) noteStep(before int) error {
+	fp := l.fingerprint
+	for _, b := range l.cur[before:] {
+		fp = (fp ^ uint64(b)) * fnvPrime
 	}
-	if l.frozen {
-		l.err = fmt.Errorf("pebble: chunk: append after Source")
-		return l.err
-	}
-	if l.cur == nil {
-		l.cur = make([]byte, 0, l.opts.TargetChunkBytes+l.opts.TargetChunkBytes/8)
-	}
-	before := len(l.cur)
-	l.cur = appendStepBytes(l.cur, ops)
+	l.fingerprint = fp
 	l.totalBytes += int64(len(l.cur) - before)
 	l.curSteps++
 	l.steps++
@@ -157,6 +170,48 @@ func (l *ChunkedLog) AppendStep(ops []Op) error {
 		l.peakResident = r
 	}
 	return nil
+}
+
+func (l *ChunkedLog) appendReady() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.frozen {
+		l.err = fmt.Errorf("pebble: chunk: append after Source")
+		return l.err
+	}
+	if l.cur == nil {
+		l.cur = make([]byte, 0, l.opts.TargetChunkBytes+l.opts.TargetChunkBytes/8)
+	}
+	return nil
+}
+
+// AppendStep encodes and stores one step.
+func (l *ChunkedLog) AppendStep(ops []Op) error {
+	if err := l.appendReady(); err != nil {
+		return err
+	}
+	before := len(l.cur)
+	l.cur = appendStepBytes(l.cur, ops)
+	return l.noteStep(before)
+}
+
+// AppendStepSegments encodes one step given as ordered sub-slices, byte-
+// identical to AppendStep on their concatenation.
+func (l *ChunkedLog) AppendStepSegments(segs [][]Op) error {
+	if err := l.appendReady(); err != nil {
+		return err
+	}
+	before := len(l.cur)
+	total := 0
+	for _, seg := range segs {
+		total += len(seg)
+	}
+	l.cur = binary.AppendUvarint(l.cur, uint64(total))
+	for _, seg := range segs {
+		l.cur = appendOpsBytes(l.cur, seg)
+	}
+	return l.noteStep(before)
 }
 
 func (l *ChunkedLog) seal() error {
@@ -187,6 +242,10 @@ func (l *ChunkedLog) maybeSpill() error {
 			l.spillFile = f
 		}
 		if _, err := l.spillFile.WriteAt(c.data, l.spillOff); err != nil {
+			// A failed write poisons the log (the caller sees the sticky
+			// error), so drop the partial spill file now rather than
+			// stranding it until Close.
+			l.removeSpillFile()
 			return fmt.Errorf("pebble: chunk spill: %w", err)
 		}
 		c.spillOff = l.spillOff
@@ -240,8 +299,18 @@ func (l *ChunkedLog) Source() StepSource {
 	return &chunkReader{l: l, ci: -1}
 }
 
-// Close releases the spill file, if any. The log is unusable afterwards.
+// Close releases the spill file, if any. The log is unusable afterwards:
+// further appends fail instead of silently recreating a spill file the
+// caller would never learn about, let alone remove.
 func (l *ChunkedLog) Close() error {
+	err := l.removeSpillFile()
+	if l.err == nil {
+		l.err = fmt.Errorf("pebble: chunk: log closed")
+	}
+	return err
+}
+
+func (l *ChunkedLog) removeSpillFile() error {
 	if l.spillFile == nil {
 		return nil
 	}

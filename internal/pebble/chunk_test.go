@@ -3,6 +3,7 @@ package pebble
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -235,5 +236,142 @@ func TestChunkedLogLargeRandomStream(t *testing.T) {
 	}
 	if err := log.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChunkedLogAppendAfterClose: Close poisons the log, so a straggling
+// producer cannot silently recreate a spill file nobody will ever remove.
+func TestChunkedLogAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	log := NewChunkedLog(ChunkedLogOptions{
+		TargetChunkBytes: 32,
+		MemBudgetBytes:   1,
+		SpillDir:         dir,
+	})
+	step := []Op{{Kind: Generate, Proc: 1, Pebble: Type{P: 2, T: 3}}}
+	for i := 0; i < 64; i++ {
+		if err := log.AppendStep(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.SpilledBytes() == 0 {
+		t.Fatal("fixture did not spill")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendStep(step); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := log.AppendStepSegments([][]Op{step}); err == nil {
+		t.Fatal("segment append after Close succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after Close: %v", ents)
+	}
+}
+
+// TestChunkedLogSpillWriteErrorCleansUp: a failed spill write must remove
+// the partial spill file and poison the log instead of stranding a temp
+// file for the caller to guess at.
+func TestChunkedLogSpillWriteErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	log := NewChunkedLog(ChunkedLogOptions{
+		TargetChunkBytes: 32,
+		MemBudgetBytes:   1,
+		SpillDir:         dir,
+	})
+	step := []Op{{Kind: Generate, Proc: 1, Pebble: Type{P: 2, T: 3}}}
+	if err := log.AppendStep(step); err != nil {
+		t.Fatal(err)
+	}
+	// Force the next spill write to fail by closing the file under the log.
+	for log.spillFile == nil {
+		if err := log.AppendStep(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.spillFile.Close()
+	var appendErr error
+	for i := 0; i < 256 && appendErr == nil; i++ {
+		appendErr = log.AppendStep(step)
+	}
+	if appendErr == nil {
+		t.Fatal("spill write against a closed file succeeded")
+	}
+	if log.spillFile != nil {
+		t.Fatal("spill file handle survived the failed write")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("partial spill file left behind: %v", ents)
+	}
+	if err := log.AppendStep(step); err == nil {
+		t.Fatal("append after spill failure succeeded")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkedLogSpillDirMissing: a bogus spill directory errors without
+// leaving anything behind, and the error sticks.
+func TestChunkedLogSpillDirMissing(t *testing.T) {
+	log := NewChunkedLog(ChunkedLogOptions{
+		TargetChunkBytes: 32,
+		MemBudgetBytes:   1,
+		SpillDir:         "/nonexistent-spill-dir-for-test",
+	})
+	step := []Op{{Kind: Generate, Proc: 1, Pebble: Type{P: 2, T: 3}}}
+	var appendErr error
+	for i := 0; i < 256 && appendErr == nil; i++ {
+		appendErr = log.AppendStep(step)
+	}
+	if appendErr == nil {
+		t.Fatal("spilling into a missing directory succeeded")
+	}
+	if err := log.AppendStep(step); err == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+// TestChunkedLogFingerprint: the fingerprint is a pure function of the
+// encoded stream — identical for AppendStep and AppendStepSegments of the
+// same steps, different once the stream differs.
+func TestChunkedLogFingerprint(t *testing.T) {
+	pr := streamFixture(t)
+	encode := func(split bool) uint64 {
+		log := NewChunkedLog(ChunkedLogOptions{TargetChunkBytes: 128})
+		src := pr.Source()
+		for {
+			ops, err := src.NextStep()
+			if err != nil {
+				break
+			}
+			if split {
+				mid := len(ops) / 2
+				if err := log.AppendStepSegments([][]Op{ops[:mid], ops[mid:]}); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := log.AppendStep(ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return log.Fingerprint()
+	}
+	whole, split := encode(false), encode(true)
+	if whole != split {
+		t.Fatalf("segment encoding changed the fingerprint: %x vs %x", whole, split)
+	}
+	empty := NewChunkedLog(ChunkedLogOptions{})
+	if empty.Fingerprint() == whole {
+		t.Fatal("fingerprint ignores the stream")
 	}
 }

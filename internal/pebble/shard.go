@@ -15,11 +15,25 @@ import (
 // Send check reads only the acting processor's row, and every gain writes
 // only the gaining processor's row. So validation shards by processor —
 // shard s owns the contiguous processor range [s·m/S, (s+1)·m/S) — with a
-// per-step barrier as the only synchronization point. Send/receive matching
-// crosses shards, but sends are unique per sender and receives unique per
-// receiver (the one-op rule), so a proc-indexed, step-stamped table gives
-// O(ops) matching with no locks: senders write their own slots in phase 1,
+// barrier as the only synchronization point. Send/receive matching crosses
+// shards, but sends are unique per sender and receives unique per receiver
+// (the one-op rule), so a (step, proc)-indexed, stamped table gives O(ops)
+// matching with no locks: senders write their own slots in phase 1,
 // receivers read them after the barrier in phase 2.
+//
+// Barriers are windowed: the coordinator buffers up to Window host steps,
+// and one 4-barrier round validates the whole batch — per-step
+// synchronization cost amortizes by the window size. Windowing is sound
+// because gains are applied optimistically during the scan: a shard's scan
+// of window step j sees exactly the possessions the sequential engine would
+// at step j, since gains only ever touch the gaining processor's own row
+// and each row is scanned by exactly one shard in step order. A wrong
+// ACCEPT is therefore impossible; for a wrong ERROR, optimism can at worst
+// manufacture errors at steps after a genuine one (a shard freezing at its
+// first error stops consuming sends, say), so the verdict picks the
+// lexicographically smallest (step, class, opIdx) across shards — provably
+// the error the sequential engine reports. The equivalence suite pins this
+// across shard counts and window sizes.
 //
 // The sharded validator keeps only the "lite" state — possession bitsets
 // plus a generated-pebble bitset — not the holder/generator tables or
@@ -46,23 +60,37 @@ func (s *StreamStats) Slowdown(T int) float64 {
 	return float64(s.HostSteps) / float64(T)
 }
 
+// defaultBarrierWindow is the parallel validator's host-steps-per-barrier-
+// round when ShardedOptions.Window is unset. Big-n steps are microseconds
+// of work; 16 of them per 4-barrier round keeps synchronization under a
+// percent of the step cost without letting the window arena grow past a
+// few hundred KiB.
+const defaultBarrierWindow = 16
+
 // ShardedOptions configures ValidateSharded.
 type ShardedOptions struct {
 	// Shards is the number of parallel validation shards; values < 1 (and
 	// values above the host size) are clamped. 1 runs inline with no
 	// goroutines.
 	Shards int
+	// Window is the number of host steps validated per barrier round when
+	// Shards > 1; values < 1 mean defaultBarrierWindow. Verdicts are
+	// window-size-independent (see the package comment); only the
+	// synchronization amortization changes.
+	Window int
 	// Obs, when non-nil, receives deterministic stream counters (steps, ops
 	// by kind) — schedule-independent by construction, so experiment
-	// metrics stay byte-identical across shard counts.
+	// metrics stay byte-identical across shard counts and window sizes.
 	Obs *obs.Registry
 }
 
 // error classes, in dense-engine precedence order: any op-scan error beats
 // any unmatched-receive error beats any unmatched-send error, because
 // State.ApplyStep scans all ops before matching and matches receives before
-// checking leftover sends. Within a class the smallest op index wins —
-// exactly the op the sequential engine would have tripped on first.
+// checking leftover sends. Across a window, an earlier step's error of any
+// class beats a later step's: the sequential engine never reaches the later
+// step. Within a class the smallest op index wins — exactly the op the
+// sequential engine would have tripped on first.
 const (
 	errClassNone = iota
 	errClassScan
@@ -70,13 +98,28 @@ const (
 	errClassSend
 )
 
-type stepError struct {
+// winError is a shard's best (earliest) error for the current window,
+// ordered lexicographically by (step, class, opIdx). step is the global
+// 1-based host step; 0 means no error.
+type winError struct {
+	step  int
 	class int
 	opIdx int
 	err   error
 }
 
+func (e winError) before(o winError) bool {
+	if e.step != o.step {
+		return e.step < o.step
+	}
+	if e.class != o.class {
+		return e.class < o.class
+	}
+	return e.opIdx < o.opIdx
+}
+
 type recvRec struct {
+	j     int32 // window step index
 	opIdx int32
 	proc  int32
 	peer  int
@@ -89,14 +132,16 @@ type shardedValidator struct {
 	numIDs  int
 	words   int
 	shards  int
+	win     int // max host steps per barrier round
 
 	contains  []uint64   // m rows × words, owner-partitioned writes
 	busyStamp []int32    // per processor, owner-only
 	generated [][]uint64 // per shard: numIDs bits of "was generated"
 
-	// Per-step send table, indexed by sender. Written by the sender's shard
-	// in phase 1, read (and consumed) by receiver shards in phase 2 after
-	// the barrier. A slot is live iff sendStamp[q] == stamp.
+	// Per-(window-step, sender) send table, slot j·m+q. Written by the
+	// sender's shard in phase 1, read (and consumed) by receiver shards in
+	// phase 2 after the barrier. A slot is live iff its stamp equals
+	// stampOf(j).
 	sendStamp    []int32
 	sendTo       []int32
 	sendID       []int32
@@ -106,24 +151,30 @@ type shardedValidator struct {
 	shardOf []int32 // processor → owning shard
 	lo, hi  []int   // shard → owned processor range [lo, hi)
 
-	// Published by the coordinator before the step barrier.
-	curOps []Op
-	stamp  int32
-	done   bool
+	// The published window: winSteps steps flattened into winOps, step j
+	// being winOps[winStart[j]:winStart[j+1]]. In the sequential path
+	// winOps aliases the caller's step; the parallel coordinator copies
+	// steps into a reused arena before the publish barrier. stepBase is
+	// the number of host steps fully validated before this window.
+	winOps   []Op
+	winStart []int32
+	winSteps int
+	stepBase int
+	done     bool
 
-	// Per-shard step results, reset by each shard at phase-1 entry.
-	errs  []stepError
+	// Per-shard window results, reset by each shard at scan entry.
+	errs  []winError
 	recvs [][]recvRec
-	gains [][]gainRec
 
 	genCount, sendCount, recvCount []int64
 
 	barrier spinBarrier
 }
 
-// spinBarrier is a sense-counting barrier for shards+coordinator. Steps are
-// microseconds of work, so spinning with Gosched beats channel wakeups by a
-// wide margin; the atomics carry the happens-before edges the phases need.
+// spinBarrier is a sense-counting barrier for shards+coordinator. Rounds
+// are microseconds of work, so spinning with Gosched beats channel wakeups
+// by a wide margin; the atomics carry the happens-before edges the phases
+// need.
 type spinBarrier struct {
 	n     int32
 	count atomic.Int32
@@ -168,7 +219,18 @@ func checkSpec(sp Spec) error {
 // final-generator check matches Validate. Source errors are returned
 // verbatim.
 func ValidateSharded(sp Spec, src StepSource, opts ShardedOptions) (*StreamStats, error) {
-	v, err := newShardedValidator(sp, opts.Shards)
+	shards := opts.Shards
+	window := opts.Window
+	if window < 1 {
+		window = defaultBarrierWindow
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 {
+		window = 1 // the sequential path needs no batching arena
+	}
+	v, err := newShardedValidator(sp, shards, window)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +251,7 @@ func ValidateSharded(sp Spec, src StepSource, opts ShardedOptions) (*StreamStats
 	return stats, nil
 }
 
-func newShardedValidator(sp Spec, shards int) (*shardedValidator, error) {
+func newShardedValidator(sp Spec, shards, window int) (*shardedValidator, error) {
 	if err := checkSpec(sp); err != nil {
 		return nil, err
 	}
@@ -199,6 +261,9 @@ func newShardedValidator(sp Spec, shards int) (*shardedValidator, error) {
 	}
 	if shards > m {
 		shards = m
+	}
+	if window < 1 {
+		window = 1
 	}
 	numIDs := (sp.T + 1) * n
 	words := (numIDs + 63) / 64
@@ -210,24 +275,26 @@ func newShardedValidator(sp Spec, shards int) (*shardedValidator, error) {
 		numIDs: numIDs,
 		words:  words,
 		shards: shards,
+		win:    window,
 
 		contains:  make([]uint64, m*words),
 		busyStamp: make([]int32, m),
 		generated: make([][]uint64, shards),
 
-		sendStamp:    make([]int32, m),
-		sendTo:       make([]int32, m),
-		sendID:       make([]int32, m),
-		sendOpIdx:    make([]int32, m),
-		sendConsumed: make([]int32, m),
+		sendStamp:    make([]int32, m*window),
+		sendTo:       make([]int32, m*window),
+		sendID:       make([]int32, m*window),
+		sendOpIdx:    make([]int32, m*window),
+		sendConsumed: make([]int32, m*window),
 
 		shardOf: make([]int32, m),
 		lo:      make([]int, shards),
 		hi:      make([]int, shards),
 
-		errs:      make([]stepError, shards),
+		winStart: make([]int32, window+1),
+
+		errs:      make([]winError, shards),
 		recvs:     make([][]recvRec, shards),
-		gains:     make([][]gainRec, shards),
 		genCount:  make([]int64, shards),
 		sendCount: make([]int64, shards),
 		recvCount: make([]int64, shards),
@@ -296,10 +363,9 @@ func observeStream(reg *obs.Registry, stats *StreamStats) {
 // explicit push-style StepSink that validates one host step per AppendStep
 // call against the lite bitset state. Verdicts — per-step errors and the
 // Finish-time final-generator check — are byte-identical to ValidateSharded
-// by construction: both run the same phaseScan/phaseMatch/phaseSettle code
-// on the same state. Cost-model layers (internal/redblue) embed it so their
-// replay can interleave accounting with validation without re-buffering the
-// stream.
+// by construction: both run the same scan/match/settle code on the same
+// state. Cost-model layers (internal/redblue) embed it so their replay can
+// interleave accounting with validation without re-buffering the stream.
 type StreamValidator struct {
 	v     *shardedValidator
 	stats StreamStats
@@ -309,7 +375,7 @@ type StreamValidator struct {
 // NewStreamValidator builds an incremental validator for sp, rejecting
 // degenerate specs (nil graphs, zero processors, negative horizons).
 func NewStreamValidator(sp Spec) (*StreamValidator, error) {
-	v, err := newShardedValidator(sp, 1)
+	v, err := newShardedValidator(sp, 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -347,14 +413,22 @@ func (sv *StreamValidator) Finish() (*StreamStats, error) {
 	return &stats, nil
 }
 
-// applyStepSeq validates one step inline (single-shard phases, no barrier).
+// applyStepSeq validates one step inline (single-shard window of one step,
+// no barrier). The step ops are aliased, not copied.
 func (v *shardedValidator) applyStepSeq(ops []Op) error {
-	v.curOps = ops
-	v.stamp++
-	v.phaseScan(0)
-	v.phaseMatch(0)
-	v.phaseSettle(0)
-	return v.stepVerdict()
+	v.winOps = ops
+	v.winStart[0] = 0
+	v.winStart[1] = int32(len(ops))
+	v.winSteps = 1
+	v.scanWindow(0)
+	v.matchWindow(0)
+	v.settleWindow(0)
+	err := v.windowVerdict()
+	if err == nil {
+		v.stepBase++
+	}
+	v.winOps = nil
+	return err
 }
 
 func (v *shardedValidator) runSequential(src StepSource, stats *StreamStats) error {
@@ -373,59 +447,89 @@ func (v *shardedValidator) runSequential(src StepSource, stats *StreamStats) err
 	}
 }
 
+// stampOf is the liveness stamp of window step j: its global 1-based host
+// step number, which is unique across the run and shared by every table
+// keyed on it (busyStamp, send slots).
+func (v *shardedValidator) stampOf(j int) int32 {
+	return int32(v.stepBase + j + 1)
+}
+
+// fillWindow copies up to v.win steps from src into the window arena.
+// Returns the number of steps buffered; a non-nil error (io.EOF included)
+// means the stream ended after those steps.
+func (v *shardedValidator) fillWindow(src StepSource) (int, error) {
+	v.winOps = v.winOps[:0]
+	v.winSteps = 0
+	for v.winSteps < v.win {
+		ops, err := src.NextStep()
+		if err != nil {
+			return v.winSteps, err
+		}
+		v.winOps = append(v.winOps, ops...)
+		v.winSteps++
+		v.winStart[v.winSteps] = int32(len(v.winOps))
+	}
+	return v.winSteps, nil
+}
+
 func (v *shardedValidator) runParallel(src StepSource, stats *StreamStats) error {
 	v.barrier.n = int32(v.shards) // coordinator doubles as shard 0
+	v.winStart[0] = 0
 	var wg sync.WaitGroup
 	for s := 1; s < v.shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			for {
-				v.barrier.wait() // step published (or done)
+				v.barrier.wait() // window published (or done)
 				if v.done {
 					return
 				}
-				v.phaseScan(s)
-				v.barrier.wait() // all sends registered
-				v.phaseMatch(s)
+				v.scanWindow(s)
+				v.barrier.wait() // all sends registered, all gains applied
+				v.matchWindow(s)
 				v.barrier.wait() // all consumption settled
-				v.phaseSettle(s)
-				v.barrier.wait() // step complete
+				v.settleWindow(s)
+				v.barrier.wait() // window verdicts readable
 			}
 		}(s)
 	}
-	var stepErr error
+	var runErr error
 	for {
-		ops, err := src.NextStep()
-		if err == io.EOF {
-			v.done = true
-		} else if err != nil {
-			v.done = true
-			stepErr = err
-		} else {
-			v.curOps = ops
-			v.stamp++
+		k, srcErr := v.fillWindow(src)
+		if srcErr != nil && srcErr != io.EOF {
+			runErr = srcErr
 		}
-		v.barrier.wait()
-		if v.done {
+		if k == 0 {
+			v.done = true
+			v.barrier.wait()
 			break
 		}
-		v.phaseScan(0)
+		v.barrier.wait() // publish the window
+		v.scanWindow(0)
 		v.barrier.wait()
-		v.phaseMatch(0)
+		v.matchWindow(0)
 		v.barrier.wait()
-		v.phaseSettle(0)
+		v.settleWindow(0)
 		v.barrier.wait()
-		if e := v.stepVerdict(); e != nil {
-			stepErr = e
+		if err := v.windowVerdict(); err != nil {
+			runErr = err
 			v.done = true
 			v.barrier.wait() // release workers into the exit check
 			break
 		}
-		v.recordStep(stats, len(ops))
+		for j := 0; j < k; j++ {
+			v.recordStep(stats, int(v.winStart[j+1]-v.winStart[j]))
+		}
+		v.stepBase += k
+		if srcErr != nil {
+			v.done = true
+			v.barrier.wait()
+			break
+		}
 	}
 	wg.Wait()
-	return stepErr
+	return runErr
 }
 
 func (v *shardedValidator) recordStep(stats *StreamStats, opCount int) {
@@ -436,25 +540,24 @@ func (v *shardedValidator) recordStep(stats *StreamStats, opCount int) {
 	}
 }
 
-// stepVerdict selects the deterministic error of the just-applied step:
-// lowest class first, lowest op index within the class — the error the
-// sequential engine reports.
-func (v *shardedValidator) stepVerdict() error {
-	best := stepError{class: errClassNone}
+// windowVerdict selects the deterministic error of the just-validated
+// window: smallest (step, class, opIdx) across shards — the error the
+// sequential engine reports (see the class comment).
+func (v *shardedValidator) windowVerdict() error {
+	best := winError{}
 	for s := 0; s < v.shards; s++ {
 		e := v.errs[s]
-		if e.class == errClassNone {
+		if e.step == 0 {
 			continue
 		}
-		if best.class == errClassNone || e.class < best.class ||
-			(e.class == best.class && e.opIdx < best.opIdx) {
+		if best.step == 0 || e.before(best) {
 			best = e
 		}
 	}
-	if best.class == errClassNone {
+	if best.step == 0 {
 		return nil
 	}
-	return fmt.Errorf("pebble: host step %d: %w", int(v.stamp), best.err)
+	return fmt.Errorf("pebble: host step %d: %w", best.step, best.err)
 }
 
 func (v *shardedValidator) bit(q, id int) bool {
@@ -481,124 +584,143 @@ func (v *shardedValidator) ownerOf(proc int) int {
 	return int(v.shardOf[proc])
 }
 
-func (v *shardedValidator) fail(s int, class, opIdx int, err error) {
-	if v.errs[s].class == errClassNone {
-		v.errs[s] = stepError{class: class, opIdx: opIdx, err: err}
+func (v *shardedValidator) fail(s, step, class, opIdx int, err error) {
+	e := winError{step: step, class: class, opIdx: opIdx, err: err}
+	if v.errs[s].step == 0 || e.before(v.errs[s]) {
+		v.errs[s] = e
 	}
 }
 
-// phaseScan is phase 1: per-op checks and send registration, restricted to
-// ops whose processor the shard owns, in op order. Mirrors the first loop
-// of State.ApplyStep, including error messages. On the shard's first error
-// it stops — later ops of this shard are unreachable for the sequential
-// engine too, and cross-shard effects are screened by the class ordering.
-func (v *shardedValidator) phaseScan(s int) {
-	v.errs[s] = stepError{class: errClassNone}
+// scanWindow is phase 1: per-op checks, send registration, and optimistic
+// gains for every step of the window, restricted to ops whose processor the
+// shard owns, in (step, op) order. Mirrors the scan loop of State.ApplyStep,
+// including error messages. Gains (Generate results and Receive pebbles)
+// are applied to the possession bitsets immediately: they touch only the
+// gaining processor's row, which only this shard scans, so within the shard
+// step j+1 sees exactly the sequential engine's state — and unverified
+// Receive gains are safe because a failed match always records an error
+// that aborts the stream before the state is observed again. On the shard's
+// first error the scan stops: later ops of this shard are unreachable for
+// the sequential engine too, and cross-shard effects are screened by the
+// (step, class) ordering.
+func (v *shardedValidator) scanWindow(s int) {
+	v.errs[s] = winError{}
 	v.recvs[s] = v.recvs[s][:0]
-	v.gains[s] = v.gains[s][:0]
-	stamp := v.stamp
-	for oi, op := range v.curOps {
-		if v.ownerOf(op.Proc) != s {
-			continue
-		}
-		if op.Proc < 0 || op.Proc >= v.m {
-			v.fail(s, errClassScan, oi, fmt.Errorf("processor %d out of range", op.Proc))
-			return
-		}
-		if v.busyStamp[op.Proc] == stamp {
-			v.fail(s, errClassScan, oi, fmt.Errorf("processor %d performs two operations", op.Proc))
-			return
-		}
-		v.busyStamp[op.Proc] = stamp
-		switch op.Kind {
-		case Generate:
-			if err := v.checkGenerate(op.Proc, op.Pebble); err != nil {
-				v.fail(s, errClassScan, oi, err)
+	for j := 0; j < v.winSteps; j++ {
+		ops := v.winOps[v.winStart[j]:v.winStart[j+1]]
+		stamp := v.stampOf(j)
+		jm := j * v.m
+		for oi := range ops {
+			op := &ops[oi]
+			if v.ownerOf(op.Proc) != s {
+				continue
+			}
+			if op.Proc < 0 || op.Proc >= v.m {
+				v.fail(s, int(stamp), errClassScan, oi, fmt.Errorf("processor %d out of range", op.Proc))
 				return
 			}
-			id := op.Pebble.T*v.n + op.Pebble.P
-			v.gains[s] = append(v.gains[s], gainRec{q: int32(op.Proc), id: int32(id)})
-			v.generated[s][id>>6] |= 1 << (uint(id) & 63)
-			v.genCount[s]++
-		case Send:
-			if !v.sp.Host.HasEdge(op.Proc, op.Peer) {
-				v.fail(s, errClassScan, oi, fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer))
+			if v.busyStamp[op.Proc] == stamp {
+				v.fail(s, int(stamp), errClassScan, oi, fmt.Errorf("processor %d performs two operations", op.Proc))
 				return
 			}
-			id, ok := v.idOf(op.Pebble)
-			if !ok || !v.bit(op.Proc, id) {
-				v.fail(s, errClassScan, oi, fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble))
+			v.busyStamp[op.Proc] = stamp
+			switch op.Kind {
+			case Generate:
+				if err := v.checkGenerate(op.Proc, op.Pebble); err != nil {
+					v.fail(s, int(stamp), errClassScan, oi, err)
+					return
+				}
+				id := op.Pebble.T*v.n + op.Pebble.P
+				v.generated[s][id>>6] |= 1 << (uint(id) & 63)
+				v.setBit(op.Proc, id)
+				v.genCount[s]++
+			case Send:
+				if !v.sp.Host.HasEdge(op.Proc, op.Peer) {
+					v.fail(s, int(stamp), errClassScan, oi, fmt.Errorf("send %v along non-edge %d→%d", op.Pebble, op.Proc, op.Peer))
+					return
+				}
+				id, ok := v.idOf(op.Pebble)
+				if !ok || !v.bit(op.Proc, id) {
+					v.fail(s, int(stamp), errClassScan, oi, fmt.Errorf("processor %d sends pebble %v it does not hold", op.Proc, op.Pebble))
+					return
+				}
+				slot := jm + op.Proc
+				v.sendStamp[slot] = stamp
+				v.sendTo[slot] = int32(op.Peer)
+				v.sendID[slot] = int32(id)
+				v.sendOpIdx[slot] = int32(oi)
+				v.sendCount[s]++
+			case Receive:
+				v.recvs[s] = append(v.recvs[s], recvRec{
+					j: int32(j), opIdx: int32(oi), proc: int32(op.Proc), peer: op.Peer, pb: op.Pebble,
+				})
+				if id, ok := v.idOf(op.Pebble); ok {
+					v.setBit(op.Proc, id)
+				}
+				v.recvCount[s]++
+			default:
+				v.fail(s, int(stamp), errClassScan, oi, fmt.Errorf("unknown op kind %v", op.Kind))
 				return
 			}
-			v.sendStamp[op.Proc] = stamp
-			v.sendTo[op.Proc] = int32(op.Peer)
-			v.sendID[op.Proc] = int32(id)
-			v.sendOpIdx[op.Proc] = int32(oi)
-			v.sendCount[s]++
-		case Receive:
-			v.recvs[s] = append(v.recvs[s], recvRec{
-				opIdx: int32(oi), proc: int32(op.Proc), peer: op.Peer, pb: op.Pebble,
-			})
-			v.recvCount[s]++
-		default:
-			v.fail(s, errClassScan, oi, fmt.Errorf("unknown op kind %v", op.Kind))
-			return
 		}
 	}
 }
 
-// phaseMatch is phase 2: match the shard's receives against the global send
-// table. Matching is order-independent — a send's destination and pebble
-// identify its unique receiver — so concurrent consumption is race-free:
-// each consumed slot is written by exactly one shard.
-func (v *shardedValidator) phaseMatch(s int) {
-	stamp := v.stamp
+// matchWindow is phase 2: match the shard's receives against the global
+// send table, in (step, op) order. Matching is order-independent — a send's
+// destination and pebble identify its unique receiver — so concurrent
+// consumption is race-free: each consumed slot is written by exactly one
+// shard. The shard stops at its first unmatched receive; sends left
+// unconsumed by the stop can only produce settle errors at the same step or
+// later, which the verdict ordering screens.
+func (v *shardedValidator) matchWindow(s int) {
 	for _, r := range v.recvs[s] {
+		stamp := v.stampOf(int(r.j))
 		matched := false
 		if id, ok := v.idOf(r.pb); ok {
 			from := r.peer
-			if from >= 0 && from < v.m &&
-				v.sendStamp[from] == stamp &&
-				v.sendTo[from] == r.proc &&
-				v.sendID[from] == int32(id) &&
-				v.sendConsumed[from] != stamp {
-				v.sendConsumed[from] = stamp
-				matched = true
-				v.gains[s] = append(v.gains[s], gainRec{q: r.proc, id: int32(id)})
+			if from >= 0 && from < v.m {
+				slot := int(r.j)*v.m + from
+				if v.sendStamp[slot] == stamp &&
+					v.sendTo[slot] == r.proc &&
+					v.sendID[slot] == int32(id) &&
+					v.sendConsumed[slot] != stamp {
+					v.sendConsumed[slot] = stamp
+					matched = true
+				}
 			}
 		}
 		if !matched {
-			v.fail(s, errClassRecv, int(r.opIdx),
+			v.fail(s, int(stamp), errClassRecv, int(r.opIdx),
 				fmt.Errorf("processor %d receives %v from %d without a matching send", r.proc, r.pb, r.peer))
 			return
 		}
 	}
 }
 
-// phaseSettle is phase 3: report the shard's unmatched sends and apply its
-// gains. Gains touch only owned bitset rows; if any shard erred this step
-// the whole validation aborts afterwards, so partially applied gains are
-// never observed.
-func (v *shardedValidator) phaseSettle(s int) {
-	stamp := v.stamp
-	bestIdx, bestFrom := int32(-1), -1
-	for q := v.lo[s]; q < v.hi[s]; q++ {
-		if v.sendStamp[q] == stamp && v.sendConsumed[q] != stamp {
-			if bestIdx < 0 || v.sendOpIdx[q] < bestIdx {
-				bestIdx, bestFrom = v.sendOpIdx[q], q
+// settleWindow is phase 3: report the shard's unmatched sends, earliest
+// step first, smallest op index within the step — the sequential engine's
+// pick.
+func (v *shardedValidator) settleWindow(s int) {
+	for j := 0; j < v.winSteps; j++ {
+		stamp := v.stampOf(j)
+		jm := j * v.m
+		bestIdx, bestFrom := int32(-1), -1
+		for q := v.lo[s]; q < v.hi[s]; q++ {
+			slot := jm + q
+			if v.sendStamp[slot] == stamp && v.sendConsumed[slot] != stamp {
+				if bestIdx < 0 || v.sendOpIdx[slot] < bestIdx {
+					bestIdx, bestFrom = v.sendOpIdx[slot], q
+				}
 			}
 		}
-	}
-	if bestFrom >= 0 {
-		id := int(v.sendID[bestFrom])
-		pb := Type{P: id % v.n, T: id / v.n}
-		v.fail(s, errClassSend, int(bestIdx),
-			fmt.Errorf("send of %v from %d to %d has no matching receive", pb, bestFrom, v.sendTo[bestFrom]))
-	}
-	for _, g := range v.gains[s] {
-		q, id := int(g.q), int(g.id)
-		if !v.bit(q, id) {
-			v.setBit(q, id)
+		if bestFrom >= 0 {
+			slot := jm + bestFrom
+			id := int(v.sendID[slot])
+			pb := Type{P: id % v.n, T: id / v.n}
+			v.fail(s, int(stamp), errClassSend, int(bestIdx),
+				fmt.Errorf("send of %v from %d to %d has no matching receive", pb, bestFrom, v.sendTo[slot]))
+			return
 		}
 	}
 }

@@ -34,6 +34,18 @@ type StepSink interface {
 	AppendStep(ops []Op) error
 }
 
+// StepSegmentSink is an optional StepSink extension: one host step delivered
+// as ordered sub-slices. The sharded builder's merge stage probes for it so
+// sinks that copy anyway (Pipe, ChunkedLog, TeeSink) can consume the
+// per-worker segments in place instead of paying an extra concatenation.
+// Appending segs must be byte-equivalent to AppendStep on their
+// concatenation; the segment slices are only valid for the duration of the
+// call.
+type StepSegmentSink interface {
+	StepSink
+	AppendStepSegments(segs [][]Op) error
+}
+
 // Spec is the frame of a protocol stream: the graphs and the guest horizon,
 // everything a consumer needs that is not in the steps themselves.
 type Spec struct {
@@ -89,13 +101,41 @@ func (s *ownedSink) AppendStep(ops []Op) error {
 }
 
 // TeeSink duplicates a stream into several sinks, in order.
-func TeeSink(sinks ...StepSink) StepSink { return teeSink(sinks) }
+func TeeSink(sinks ...StepSink) StepSink { return &teeSink{sinks: sinks} }
 
-type teeSink []StepSink
+type teeSink struct {
+	sinks   []StepSink
+	scratch []Op // flattening buffer for children without a segment path
+}
 
-func (t teeSink) AppendStep(ops []Op) error {
-	for _, s := range t {
+func (t *teeSink) AppendStep(ops []Op) error {
+	for _, s := range t.sinks {
 		if err := s.AppendStep(ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *teeSink) AppendStepSegments(segs [][]Op) error {
+	var flat []Op
+	flattened := false
+	for _, s := range t.sinks {
+		if ss, ok := s.(StepSegmentSink); ok {
+			if err := ss.AppendStepSegments(segs); err != nil {
+				return err
+			}
+			continue
+		}
+		if !flattened {
+			t.scratch = t.scratch[:0]
+			for _, seg := range segs {
+				t.scratch = append(t.scratch, seg...)
+			}
+			flat = t.scratch
+			flattened = true
+		}
+		if err := s.AppendStep(flat); err != nil {
 			return err
 		}
 	}
@@ -200,32 +240,63 @@ func NewPipe(window int) *Pipe {
 	return p
 }
 
+// acquireSlot blocks until a free slot is available (accounting the stall
+// when enabled) or the consumer abandons the pipe.
+func (p *Pipe) acquireSlot() (int32, error) {
+	select {
+	case idx := <-p.free:
+		return idx, nil
+	default:
+	}
+	if p.MeasureStalls {
+		t0 := time.Now()
+		select {
+		case idx := <-p.free:
+			p.sendStallNs.Add(time.Since(t0).Nanoseconds())
+			return idx, nil
+		case <-p.done:
+			return 0, ErrPipeClosed
+		}
+	}
+	select {
+	case idx := <-p.free:
+		return idx, nil
+	case <-p.done:
+		return 0, ErrPipeClosed
+	}
+}
+
 // AppendStep copies ops into a free slot and publishes it. It blocks while
 // the window is full and returns ErrPipeClosed if the consumer called
 // CloseRecv.
 func (p *Pipe) AppendStep(ops []Op) error {
-	var idx int32
-	select {
-	case idx = <-p.free:
-	default:
-		if p.MeasureStalls {
-			t0 := time.Now()
-			select {
-			case idx = <-p.free:
-			case <-p.done:
-				return ErrPipeClosed
-			}
-			p.sendStallNs.Add(time.Since(t0).Nanoseconds())
-		} else {
-			select {
-			case idx = <-p.free:
-			case <-p.done:
-				return ErrPipeClosed
-			}
-		}
+	idx, err := p.acquireSlot()
+	if err != nil {
+		return err
 	}
 	buf := p.slots[idx][:0]
 	buf = append(buf, ops...)
+	p.slots[idx] = buf
+	select {
+	case p.filled <- idx:
+	case <-p.done:
+		return ErrPipeClosed
+	}
+	return nil
+}
+
+// AppendStepSegments publishes one step given as ordered sub-slices,
+// copying them into a single slot — the multi-producer merge's zero-extra-
+// copy path.
+func (p *Pipe) AppendStepSegments(segs [][]Op) error {
+	idx, err := p.acquireSlot()
+	if err != nil {
+		return err
+	}
+	buf := p.slots[idx][:0]
+	for _, seg := range segs {
+		buf = append(buf, seg...)
+	}
 	p.slots[idx] = buf
 	select {
 	case p.filled <- idx:

@@ -254,9 +254,10 @@ func TestQueuedBuilderValidates(t *testing.T) {
 // TestShardedMatchesDense extends the oracle seed suite through the sharded
 // streaming validator: on valid protocols and mutants alike, accept/reject
 // and the error text must match the dense engine exactly, at every shard
-// count.
+// count and every barrier window size.
 func TestShardedMatchesDense(t *testing.T) {
 	shardCounts := []int{1, 2, 3, 5}
+	windows := []int{1, 3, 16}
 	for seed := int64(0); seed < 80; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -299,12 +300,14 @@ func TestShardedMatchesDense(t *testing.T) {
 				t.Helper()
 				_, errD := p.Validate()
 				for _, shards := range shardCounts {
-					_, errS := ValidateSharded(p.Spec(), p.Source(), ShardedOptions{Shards: shards})
-					if (errD == nil) != (errS == nil) {
-						t.Fatalf("shards=%d: dense err %v, sharded err %v", shards, errD, errS)
-					}
-					if errD != nil && errD.Error() != errS.Error() {
-						t.Fatalf("shards=%d: dense %q, sharded %q", shards, errD, errS)
+					for _, window := range windows {
+						_, errS := ValidateSharded(p.Spec(), p.Source(), ShardedOptions{Shards: shards, Window: window})
+						if (errD == nil) != (errS == nil) {
+							t.Fatalf("shards=%d window=%d: dense err %v, sharded err %v", shards, window, errD, errS)
+						}
+						if errD != nil && errD.Error() != errS.Error() {
+							t.Fatalf("shards=%d window=%d: dense %q, sharded %q", shards, window, errD, errS)
+						}
 					}
 				}
 			}
